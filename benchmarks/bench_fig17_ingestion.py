@@ -1,0 +1,112 @@
+"""Figure 17 — data ingestion performance.
+
+* (a) continuous data-feed ingestion of the Twitter workload (insert-only),
+  SATA vs NVMe, uncompressed vs compressed;
+* (b) the same feed with 50 % updates (every other operation upserts a
+  previously ingested record), which exercises the point lookups the tuple
+  compactor needs to fetch anti-schemas;
+* (c) bulk-loading the WoS workload (sort + bottom-up B+-tree build).
+
+Faithfulness note (also recorded in EXPERIMENTS.md): the paper's ingest win
+for the inferred configuration comes from cheaper *Java* record construction
+and from writing smaller LSM components.  In this pure-Python substrate the
+CPU side inverts (schema inference + compaction in Python outweigh the
+cheaper vector construction), so the shape checks below target the part the
+substrate models faithfully — the write volume / simulated device time,
+where inferred writes the least — and the update-workload behaviour
+(inferred pays for anti-schema point lookups, open/closed do not), while the
+measured wall-clock columns are printed for transparency.
+"""
+
+from harness import DeviceKind, build_dataset, print_table, shape_check
+
+_FORMATS = ("open", "closed", "inferred")
+
+
+def _feed_insert_only():
+    rows = []
+    io_seconds = {}
+    for device in (DeviceKind.SATA_SSD, DeviceKind.NVME_SSD):
+        for compression in (None, "snappy"):
+            for format_name in _FORMATS:
+                built = build_dataset("twitter", format_name, compression=compression,
+                                      device=device, method="feed", cache=False)
+                report = built.ingest_report
+                io_seconds[(device, compression, format_name)] = report.simulated_io_seconds
+                rows.append({"Device": device.value, "Compression": compression or "none",
+                             "Format": format_name,
+                             "Wall (s)": report.wall_seconds,
+                             "Simulated write I/O (s)": report.simulated_io_seconds,
+                             "Data bytes written": report.data_bytes_written,
+                             "Flushes": report.flushes})
+    return rows, io_seconds
+
+
+def test_fig17a_feed_insert_only(benchmark):
+    rows, io_seconds = benchmark.pedantic(_feed_insert_only, rounds=1, iterations=1)
+    print_table("Figure 17a — Twitter data feed, insert-only", rows)
+    for device in (DeviceKind.SATA_SSD, DeviceKind.NVME_SSD):
+        for compression in (None, "snappy"):
+            inferred = io_seconds[(device, compression, "inferred")]
+            open_ = io_seconds[(device, compression, "open")]
+            shape_check(
+                f"{device.value}/{compression}: inferred writes less than open (smaller components)",
+                inferred < open_,
+            )
+
+
+def _feed_with_updates():
+    rows = []
+    times = {}
+    for format_name in _FORMATS:
+        for update_ratio in (0.0, 0.5):
+            built = build_dataset("twitter", format_name, device=DeviceKind.NVME_SSD,
+                                  method="feed", update_ratio=update_ratio, cache=False)
+            seconds = built.ingest_report.total_seconds
+            times[(format_name, update_ratio)] = seconds
+            rows.append({"Format": format_name,
+                         "Updates": f"{int(update_ratio * 100)}%",
+                         "Ingest time (s)": seconds,
+                         "Upserts": built.ingest_report.updates,
+                         "Maintenance lookups": built.dataset.ingest_stats()["maintenance_point_lookups"]})
+    return rows, times
+
+
+def test_fig17b_feed_with_updates(benchmark):
+    rows, times = benchmark.pedantic(_feed_with_updates, rounds=1, iterations=1)
+    print_table("Figure 17b — Twitter data feed with 50% updates (NVMe)", rows)
+    inferred_penalty = times[("inferred", 0.5)] / times[("inferred", 0.0)]
+    shape_check("inferred pays a visible update penalty (anti-schema point lookups)",
+                inferred_penalty > 1.05)
+    # Note: the 50%-update feed performs ~1.5x the operations of the insert-only
+    # feed for every format; the *extra* inferred-only cost is the maintenance
+    # lookups, which the printed column makes visible.
+    shape_check("open/closed perform no maintenance point lookups",
+                all(row["Maintenance lookups"] == 0 for row in rows if row["Format"] != "inferred"))
+
+
+def _bulkload():
+    rows = []
+    sizes = {}
+    for device in (DeviceKind.SATA_SSD, DeviceKind.NVME_SSD):
+        for format_name in _FORMATS:
+            built = build_dataset("wos", format_name, device=device, method="load", cache=False)
+            sizes[(device, format_name)] = built.storage_size
+            rows.append({"Device": device.value, "Format": format_name,
+                         "Bulk-load wall (s)": built.ingest_wall_seconds,
+                         "Simulated write I/O (s)": built.environment.simulated_io_seconds(),
+                         "Loaded size (bytes)": built.storage_size})
+    return rows, sizes
+
+
+def test_fig17c_wos_bulkload(benchmark):
+    rows, sizes = benchmark.pedantic(_bulkload, rounds=1, iterations=1)
+    print_table("Figure 17c — WoS bulk load", rows)
+    for device in (DeviceKind.SATA_SSD, DeviceKind.NVME_SSD):
+        shape_check(f"{device.value}: the single loaded inferred component is the smallest",
+                    sizes[(device, "inferred")] < sizes[(device, "closed")] < sizes[(device, "open")])
+    # Each load produces exactly one component per partition (single inferred schema).
+    single = build_dataset("wos", "inferred", method="load", cache=False)
+    shape_check("bulk load builds one on-disk component",
+                all(partition.index.component_count() == 1
+                    for partition in single.dataset.partitions))

@@ -1,0 +1,38 @@
+"""Figure 18 — query execution time, Twitter dataset (Q1–Q4).
+
+Q1 counts records, Q2 groups/sorts users by average tweet length, Q3 filters
+on a hashtag with an existential quantifier before grouping, and Q4 sorts
+the whole dataset by timestamp.  The paper runs them against the open,
+closed, and inferred datasets, with and without page compression, on SATA
+and NVMe devices, and observes that (i) on SATA the execution times track
+the on-disk sizes and (ii) compression helps wherever I/O dominates.
+
+Shape checks target the quantities this substrate models faithfully — bytes
+read / simulated device time per configuration (the SATA-side ordering) and
+result equivalence — while the measured Python CPU seconds are printed for
+completeness (see the faithfulness note in EXPERIMENTS.md: relative CPU
+costs of the Java runtime do not transfer to Python).
+"""
+
+from harness import (
+    check_compression_reduces_io,
+    check_io_correlates_with_storage,
+    check_results_agree,
+    print_table,
+    query_figure,
+)
+
+QUERY_NAMES = ("Q1", "Q2", "Q3", "Q4")
+
+
+def test_fig18_twitter_queries(benchmark):
+    rows, measurements = benchmark.pedantic(lambda: query_figure("twitter"),
+                                            rounds=1, iterations=1)
+    print_table("Figure 18 — Twitter Q1-Q4 (CPU + simulated I/O per device)", rows)
+    check_io_correlates_with_storage("twitter", measurements, QUERY_NAMES)
+    check_compression_reduces_io("twitter", measurements, QUERY_NAMES)
+    check_results_agree(measurements, QUERY_NAMES)
+    # NVMe reads the same bytes ~6x faster than SATA: the I/O component shrinks,
+    # which is why the paper's NVMe runs expose CPU cost instead.
+    for key, measurement in measurements.items():
+        assert measurement["nvme_io"] <= measurement["sata_io"]

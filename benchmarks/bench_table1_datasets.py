@@ -1,0 +1,59 @@
+"""Table 1 — dataset summary statistics.
+
+Reproduces the structural summary of the three evaluation datasets (source,
+record count, record size, scalar-value counts, nesting depth, dominant
+type, union types).  Absolute sizes are scaled down (see
+``harness.SCALES``); the structural columns — depth, dominant type, union
+types, name-heavy Sensors records — are the ones that must match the paper,
+because they drive every other experiment.
+"""
+
+from harness import GENERATORS, SCALES, print_table, records_for, shape_check
+
+from repro.datasets import dataset_statistics
+
+#: The paper's Table 1 rows (for side-by-side printing).
+PAPER_TABLE1 = {
+    "twitter": {"Dominant Type": "String", "Max. Depth": 8, "Union Type?": "No"},
+    "wos": {"Dominant Type": "String", "Max. Depth": 7, "Union Type?": "Yes"},
+    "sensors": {"Dominant Type": "Double", "Max. Depth": 3, "Union Type?": "No"},
+}
+
+
+def _table1_rows():
+    rows = []
+    for name in ("twitter", "wos", "sensors"):
+        stats = dataset_statistics(records_for(name))
+        row = {"Dataset": name.title()}
+        row.update(stats.as_row())
+        row["Paper dominant type"] = PAPER_TABLE1[name]["Dominant Type"]
+        row["Paper union?"] = PAPER_TABLE1[name]["Union Type?"]
+        rows.append((row, stats))
+    return rows
+
+
+def test_table1_dataset_summary(benchmark):
+    rows_with_stats = benchmark.pedantic(_table1_rows, rounds=1, iterations=1)
+    rows = [row for row, _ in rows_with_stats]
+    print_table("Table 1 — dataset summary (scaled-down reproduction)", rows)
+
+    by_name = {row["Dataset"].lower(): stats for (row, stats) in rows_with_stats}
+    shape_check("Twitter is string-dominant", by_name["twitter"].dominant_type == "String")
+    shape_check("WoS is string-dominant", by_name["wos"].dominant_type == "String")
+    shape_check("WoS carries union-typed values", by_name["wos"].has_union_types)
+    shape_check("Sensors is double-dominant", by_name["sensors"].dominant_type == "Double")
+    shape_check("Sensors is the shallowest dataset",
+                by_name["sensors"].max_depth <= min(by_name["twitter"].max_depth,
+                                                    by_name["wos"].max_depth))
+    shape_check("WoS records are the largest on average",
+                by_name["wos"].avg_record_bytes > by_name["twitter"].avg_record_bytes)
+
+
+def test_table1_generator_throughput(benchmark):
+    """Generator throughput (records/second) — sanity benchmark for the harness."""
+
+    def generate_once():
+        return sum(1 for _ in GENERATORS["twitter"].generate(SCALES["twitter"]))
+
+    count = benchmark(generate_once)
+    assert count == SCALES["twitter"]

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` (legacy editable install) keeps working
+on machines without the ``wheel`` package or network access for build
+isolation.
+"""
+
+from setuptools import setup
+
+setup()

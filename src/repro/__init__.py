@@ -1,0 +1,77 @@
+"""repro — a reproduction of "An LSM-based Tuple Compaction Framework for
+Apache AsterixDB" (Alkowaileet, Alsubaiee, Carey; PVLDB 13(9), 2020).
+
+The package implements, from scratch and in Python:
+
+* an LSM B+-tree document-store storage engine with flush/merge lifecycles,
+  anti-matter deletes, merge policies, WAL + crash recovery, page-level
+  compression with look-aside files, and per-component auxiliary indexes;
+* the paper's tuple compaction framework: flush-time schema inference, a
+  counter-maintained schema tree structure, and record compaction;
+* the vector-based physical record format with consolidated field access;
+* a partitioned, operator-based query engine with the optimizer rewrites
+  the paper relies on (field-access consolidation/pushdown, schema
+  broadcast for repartitioning queries);
+* synthetic Twitter/Web-of-Science/Sensors workload generators and the
+  benchmark harness that regenerates every table and figure of the paper's
+  evaluation section.
+
+Quick start::
+
+    from repro import Dataset, StorageFormat
+
+    dataset = Dataset.create("Employee", StorageFormat.INFERRED)
+    dataset.insert({"id": 1, "name": "Ann", "age": 26})
+    dataset.flush_all()
+    print(dataset.describe_schema())
+"""
+
+from .config import (
+    ClusterConfig,
+    DatasetConfig,
+    DeviceKind,
+    LSMConfig,
+    StorageConfig,
+    StorageFormat,
+)
+from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
+from .errors import ReproError
+from .schema import InferredSchema
+from .types import (
+    ADate,
+    ADateTime,
+    AMultiset,
+    APoint,
+    ATime,
+    Datatype,
+    FieldDeclaration,
+    MISSING,
+    TypeTag,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "StorageFormat",
+    "DeviceKind",
+    "DatasetConfig",
+    "StorageConfig",
+    "LSMConfig",
+    "ClusterConfig",
+    "Dataset",
+    "Partition",
+    "StorageEnvironment",
+    "TupleCompactor",
+    "InferredSchema",
+    "ReproError",
+    "TypeTag",
+    "Datatype",
+    "FieldDeclaration",
+    "ADate",
+    "ADateTime",
+    "ATime",
+    "APoint",
+    "AMultiset",
+    "MISSING",
+]

@@ -1,0 +1,6 @@
+"""ADM physical record format (the paper's open/closed baseline)."""
+
+from .encoder import ADMEncoder
+from .decoder import ADMDecoder, ADMRecordView
+
+__all__ = ["ADMEncoder", "ADMDecoder", "ADMRecordView"]

@@ -1,0 +1,181 @@
+"""Binary encoder for the ADM physical record format.
+
+This is the paper's *baseline* physical format (paper §2.2 and [3]): a
+recursive, self-describing layout in which
+
+* every value carries a one-byte type tag;
+* every **object** stores a 4-byte offset per declared ("closed part")
+  field, followed by the undeclared ("open part") fields each of which
+  stores its field name inline;
+* every **array/multiset** stores a 4-byte offset per item.
+
+Those per-nested-value offsets and inline names are exactly the overheads
+the tuple compactor and the vector-based format remove, so this encoder
+deliberately reproduces them byte-for-concept (if not byte-for-byte with
+AsterixDB's Java implementation).
+
+The encoder is recursive: children are encoded into their own buffers and
+then copied into the parent, mirroring the repeated memory-copy behaviour
+the paper measured to be ~40 % slower to construct than the vector-based
+format.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Optional
+
+from ..errors import EncodingError
+from ..types import Datatype, MISSING, Missing, TypeTag, pack_fixed, pack_variable, type_tag_of
+
+#: struct formats used throughout the format.
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+class ADMEncoder:
+    """Encodes Python records into ADM physical bytes.
+
+    Parameters
+    ----------
+    datatype:
+        The declared datatype of the dataset.  Fields present in the
+        declaration are written to the closed part (no inline names); all
+        other fields go to the open part with their names inline.  Pass a
+        datatype declaring only the primary key to model the paper's
+        *open* configuration, or a fully declared one for *closed*.
+    validate:
+        When true, records are validated against the datatype before
+        encoding (AsterixDB always enforces declared constraints; the paper
+        attributes part of the closed configuration's ingest cost to it).
+    """
+
+    def __init__(self, datatype: Optional[Datatype] = None, validate: bool = True) -> None:
+        self.datatype = datatype
+        self.validate = validate and datatype is not None
+
+    # -- public API ---------------------------------------------------------
+
+    def encode(self, record: Dict[str, Any]) -> bytes:
+        """Encode a top-level record (must be an object)."""
+        if not isinstance(record, dict):
+            raise EncodingError("top-level ADM records must be objects")
+        if self.validate:
+            self.datatype.validate(record)
+        return self._encode_object(record, self.datatype)
+
+    def encode_value(self, value: Any) -> bytes:
+        """Encode an arbitrary tagged value (used by secondary indexes)."""
+        return self._encode_value(value, None)
+
+    # -- recursive encoding ---------------------------------------------------
+
+    def _encode_value(self, value: Any, declared: Optional[Datatype]) -> bytes:
+        tag = type_tag_of(value)
+        if tag is TypeTag.OBJECT:
+            return self._encode_object(value, declared)
+        if tag in (TypeTag.ARRAY, TypeTag.MULTISET):
+            return self._encode_collection(tag, value, None)
+        if tag in (TypeTag.NULL, TypeTag.MISSING):
+            return bytes([tag])
+        if tag.is_fixed_length:
+            return bytes([tag]) + pack_fixed(tag, value)
+        if tag.is_variable_length:
+            payload = pack_variable(tag, value)
+            return bytes([tag]) + _U32.pack(len(payload)) + payload
+        raise EncodingError(f"cannot encode value with tag {tag.name}")
+
+    def _encode_declared_field(self, declaration, value: Any) -> bytes:
+        """Encode a declared field, threading nested/item declarations."""
+        tag = type_tag_of(value)
+        if tag is TypeTag.OBJECT and declaration.nested is not None:
+            return self._encode_object(value, declaration.nested)
+        if tag in (TypeTag.ARRAY, TypeTag.MULTISET) and declaration.item_nested is not None:
+            return self._encode_collection(tag, value, declaration.item_nested)
+        return self._encode_value(value, None)
+
+    def _encode_object(self, record: Dict[str, Any], declared: Optional[Datatype]) -> bytes:
+        """Object layout::
+
+            tag(1) | total_length(4) | n_closed(2) | closed_offsets(4*n)
+                   | closed_values...
+                   | n_open(2) | open_offsets(4*n)
+                   | (name_len(2) | name | value)...
+
+        Offsets are relative to the start of the object and 0 means "field
+        absent" (optional declared field not present in this record).
+        """
+        declared_fields = list(declared.fields) if declared is not None else []
+        declared_names = {declaration.name for declaration in declared_fields}
+        open_items = [
+            (name, value) for name, value in record.items()
+            if name not in declared_names and not isinstance(value, Missing)
+        ]
+
+        closed_payloads = []
+        for declaration in declared_fields:
+            value = record.get(declaration.name, MISSING)
+            if isinstance(value, Missing):
+                closed_payloads.append(b"")
+                continue
+            closed_payloads.append(self._encode_declared_field(declaration, value))
+
+        open_payloads = []
+        for name, value in open_items:
+            name_bytes = name.encode("utf-8")
+            open_payloads.append(_U16.pack(len(name_bytes)) + name_bytes + self._encode_value(value, None))
+
+        header_size = 1 + 4 + 2 + 4 * len(declared_fields)
+        open_header_size = 2 + 4 * len(open_items)
+
+        closed_offsets = []
+        cursor = header_size
+        for payload in closed_payloads:
+            closed_offsets.append(cursor if payload else 0)
+            cursor += len(payload)
+        open_start = cursor + open_header_size
+        open_offsets = []
+        cursor = open_start
+        for payload in open_payloads:
+            open_offsets.append(cursor)
+            cursor += len(payload)
+        total_length = cursor
+
+        parts = [bytes([TypeTag.OBJECT]), _U32.pack(total_length), _U16.pack(len(declared_fields))]
+        parts.extend(_U32.pack(offset) for offset in closed_offsets)
+        parts.extend(payload for payload in closed_payloads if payload)
+        parts.append(_U16.pack(len(open_items)))
+        parts.extend(_U32.pack(offset) for offset in open_offsets)
+        parts.extend(open_payloads)
+        encoded = b"".join(parts)
+        if len(encoded) != total_length:
+            raise EncodingError(
+                f"internal error: object length mismatch ({len(encoded)} != {total_length})"
+            )
+        return encoded
+
+    def _encode_collection(self, tag: TypeTag, items, item_nested: Optional[Datatype]) -> bytes:
+        """Collection layout::
+
+            tag(1) | total_length(4) | n_items(4) | item_offsets(4*n) | items...
+
+        ``item_nested`` is the declared datatype of object items (if any); it
+        lets closed datasets omit item field names from storage, which is the
+        dominant saving for the Sensors dataset's ``readings`` arrays.
+        """
+        payloads = []
+        for item in items:
+            if item_nested is not None and isinstance(item, dict):
+                payloads.append(self._encode_object(item, item_nested))
+            else:
+                payloads.append(self._encode_value(item, None))
+        header_size = 1 + 4 + 4 + 4 * len(payloads)
+        offsets = []
+        cursor = header_size
+        for payload in payloads:
+            offsets.append(cursor)
+            cursor += len(payload)
+        parts = [bytes([tag]), _U32.pack(cursor), _U32.pack(len(payloads))]
+        parts.extend(_U32.pack(offset) for offset in offsets)
+        parts.extend(payloads)
+        return b"".join(parts)

@@ -1,0 +1,18 @@
+"""Immutable page-based B+-tree (bulk load + read path)."""
+
+from .btree import BTree
+from .bulk_loader import BTreeInfo, BulkLoader
+from .keycodec import Key, decode_key, encode_key, key_size
+from .pages import FLAG_ANTIMATTER, LeafEntry
+
+__all__ = [
+    "BTree",
+    "BTreeInfo",
+    "BulkLoader",
+    "Key",
+    "encode_key",
+    "decode_key",
+    "key_size",
+    "LeafEntry",
+    "FLAG_ANTIMATTER",
+]

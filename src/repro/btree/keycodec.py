@@ -1,0 +1,76 @@
+"""Serialization of B+-tree keys.
+
+Primary keys in the paper's datasets are integers; secondary-index keys are
+whatever the indexed field holds (the Figure 24 experiment indexes a bigint
+timestamp), and composite keys appear when a secondary index appends the
+primary key for uniqueness.  The codec therefore supports integers, floats,
+strings, and tuples of those.  Keys are compared as Python values after
+decoding, so the encoding only needs to round-trip, not to be
+order-preserving at the byte level.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple, Union
+
+from ..errors import EncodingError
+
+KeyScalar = Union[int, float, str]
+Key = Union[KeyScalar, Tuple[KeyScalar, ...]]
+
+_KIND_INT = 0
+_KIND_FLOAT = 1
+_KIND_STR = 2
+_KIND_TUPLE = 3
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U16 = struct.Struct("<H")
+
+
+def encode_key(key: Key) -> bytes:
+    """Encode a key into bytes (type byte + payload)."""
+    if isinstance(key, bool):
+        raise EncodingError("boolean values cannot be index keys")
+    if isinstance(key, int):
+        return bytes([_KIND_INT]) + _I64.pack(key)
+    if isinstance(key, float):
+        return bytes([_KIND_FLOAT]) + _F64.pack(key)
+    if isinstance(key, str):
+        payload = key.encode("utf-8")
+        if len(payload) > 0xFFFF:
+            raise EncodingError("string keys longer than 65535 bytes are not supported")
+        return bytes([_KIND_STR]) + _U16.pack(len(payload)) + payload
+    if isinstance(key, tuple):
+        parts = [bytes([_KIND_TUPLE, len(key)])]
+        parts.extend(encode_key(part) for part in key)
+        return b"".join(parts)
+    raise EncodingError(f"unsupported key type {type(key).__name__}")
+
+
+def decode_key(payload: bytes, offset: int = 0) -> Tuple[Key, int]:
+    """Decode one key starting at ``offset``; returns ``(key, next_offset)``."""
+    kind = payload[offset]
+    if kind == _KIND_INT:
+        return _I64.unpack_from(payload, offset + 1)[0], offset + 9
+    if kind == _KIND_FLOAT:
+        return _F64.unpack_from(payload, offset + 1)[0], offset + 9
+    if kind == _KIND_STR:
+        (length,) = _U16.unpack_from(payload, offset + 1)
+        start = offset + 3
+        return payload[start:start + length].decode("utf-8"), start + length
+    if kind == _KIND_TUPLE:
+        count = payload[offset + 1]
+        cursor = offset + 2
+        parts = []
+        for _ in range(count):
+            part, cursor = decode_key(payload, cursor)
+            parts.append(part)
+        return tuple(parts), cursor
+    raise EncodingError(f"unknown key kind {kind}")
+
+
+def key_size(key: Key) -> int:
+    """Encoded size of a key (used when sizing pages during bulk load)."""
+    return len(encode_key(key))

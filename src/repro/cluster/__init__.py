@@ -1,0 +1,13 @@
+"""Cluster simulation: node controllers, data feeds, the cluster simulator."""
+
+from .feed import DataFeed, FeedReport
+from .node import NodeController
+from .simulator import ClusterQueryReport, ClusterSimulator
+
+__all__ = [
+    "NodeController",
+    "DataFeed",
+    "FeedReport",
+    "ClusterSimulator",
+    "ClusterQueryReport",
+]

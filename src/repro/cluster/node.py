@@ -1,0 +1,51 @@
+"""Node controller: one worker node of the simulated cluster (paper Figure 3).
+
+Each node controller owns a storage environment (buffer cache, transaction
+log, simulated storage device) and hosts a fixed number of data partitions
+per dataset.  Node 0 doubles as the metadata node, which in AsterixDB holds
+the declared datatypes and dataset definitions; here that role amounts to
+keeping the authoritative copy of every dataset's configuration so that the
+cluster controller can re-create dataset handles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import DatasetConfig, StorageConfig
+from ..core.environment import StorageEnvironment
+from ..types import Datatype
+
+
+class NodeController:
+    """One worker node (NC) of the cluster."""
+
+    def __init__(self, node_id: int, storage_config: Optional[StorageConfig] = None,
+                 partitions_per_node: int = 2) -> None:
+        self.node_id = node_id
+        self.partitions_per_node = partitions_per_node
+        self.environment = StorageEnvironment(storage_config, node_id=node_id)
+        #: Metadata-node bookkeeping (only consulted on node 0).
+        self.dataset_catalog: Dict[str, DatasetConfig] = {}
+        self.datatype_catalog: Dict[str, Datatype] = {}
+
+    @property
+    def is_metadata_node(self) -> bool:
+        return self.node_id == 0
+
+    # -- metadata-node duties ------------------------------------------------------
+
+    def register_dataset(self, config: DatasetConfig, datatype: Datatype) -> None:
+        self.dataset_catalog[config.name] = config
+        self.datatype_catalog[config.name] = datatype
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def storage_size(self) -> int:
+        return self.environment.storage_size()
+
+    def simulated_io_seconds(self) -> float:
+        return self.environment.simulated_io_seconds()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"NodeController(node_id={self.node_id}, partitions={self.partitions_per_node})"

@@ -1,0 +1,127 @@
+"""Cluster simulator: N node controllers + a cluster controller in one process.
+
+The paper's scale-out experiments (Figures 25–26) run AsterixDB on 4/8/16/32
+EC2 nodes, scaling the ingested Twitter data proportionally, and show that
+storage, ingestion, and query times scale linearly while the schema
+broadcast introduced for repartitioning queries stays negligible.  This
+simulator reproduces the topology of paper Figure 3 in one process: each
+node controller owns an independent storage environment; datasets span all
+nodes with a fixed number of partitions per node; ingestion hash-partitions
+records across nodes; and queries execute the same job against every
+partition.
+
+Because everything runs single-threaded, the simulator distinguishes the
+*sequential* wall time it actually measured from the *per-node parallel*
+time a real cluster would see (the maximum across nodes of each node's
+share), which is what the scale-out benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..config import ClusterConfig, DatasetConfig, StorageConfig, StorageFormat
+from ..core.dataset import Dataset
+from ..errors import ClusterError
+from ..query import QueryExecutor, QueryResult, QuerySpec
+from ..types import Datatype, open_only_primary_key
+from .node import NodeController
+
+
+@dataclass
+class ClusterQueryReport:
+    """Query execution summary with scale-out-relevant timings."""
+
+    result: QueryResult
+    sequential_seconds: float
+    parallel_seconds: float
+    simulated_io_seconds: float
+    schema_broadcast_bytes: int
+
+
+class ClusterSimulator:
+    """A shared-nothing cluster of :class:`NodeController` instances."""
+
+    def __init__(self, cluster_config: Optional[ClusterConfig] = None,
+                 storage_config: Optional[StorageConfig] = None) -> None:
+        self.config = cluster_config or ClusterConfig()
+        self.storage_config = storage_config or StorageConfig()
+        self.nodes: List[NodeController] = [
+            NodeController(node_id, self.storage_config, self.config.partitions_per_node)
+            for node_id in range(self.config.node_count)
+        ]
+        self.datasets: Dict[str, Dataset] = {}
+
+    # ------------------------------------------------------------------ datasets
+
+    @property
+    def metadata_node(self) -> NodeController:
+        return self.nodes[0]
+
+    def create_dataset(self, name: str, storage_format: StorageFormat = StorageFormat.OPEN,
+                       datatype: Optional[Datatype] = None, primary_key: str = "id",
+                       dataset_config: Optional[DatasetConfig] = None) -> Dataset:
+        """Create a dataset spread over every node's partitions."""
+        if name in self.datasets:
+            raise ClusterError(f"dataset {name!r} already exists in this cluster")
+        config = dataset_config or DatasetConfig(
+            name=name, primary_key=primary_key, storage_format=storage_format,
+            tuple_compactor_enabled=storage_format is StorageFormat.INFERRED,
+            storage=self.storage_config,
+        )
+        datatype = datatype or open_only_primary_key(f"{name}Type", primary_key)
+        dataset = Dataset(config, [node.environment for node in self.nodes],
+                          partitions_per_environment=self.config.partitions_per_node,
+                          datatype=datatype)
+        self.metadata_node.register_dataset(config, datatype)
+        self.datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self.datasets[name]
+        except KeyError as exc:
+            raise ClusterError(f"unknown dataset {name!r}") from exc
+
+    # ------------------------------------------------------------------ cluster-wide metrics
+
+    def total_storage_size(self) -> int:
+        return sum(node.storage_size() for node in self.nodes)
+
+    def per_node_storage_sizes(self) -> List[int]:
+        return [node.storage_size() for node in self.nodes]
+
+    def total_partitions(self) -> int:
+        return self.config.total_partitions
+
+    # ------------------------------------------------------------------ queries
+
+    def execute(self, dataset_name: str, spec: QuerySpec,
+                executor: Optional[QueryExecutor] = None) -> ClusterQueryReport:
+        """Run a query against all partitions and derive cluster timings."""
+        dataset = self.dataset(dataset_name)
+        executor = executor or QueryExecutor()
+        result = executor.execute(dataset, spec)
+        stats = result.stats
+        per_node_seconds = self._per_node_seconds(stats.per_partition_seconds)
+        coordinator = max(stats.wall_seconds - sum(stats.per_partition_seconds), 0.0)
+        parallel = (max(per_node_seconds) if per_node_seconds else stats.wall_seconds) + coordinator
+        io_parallel = stats.simulated_io_seconds / max(len(self.nodes), 1)
+        return ClusterQueryReport(
+            result=result,
+            sequential_seconds=stats.wall_seconds,
+            parallel_seconds=parallel + io_parallel,
+            simulated_io_seconds=stats.simulated_io_seconds,
+            schema_broadcast_bytes=stats.schema_broadcast_bytes,
+        )
+
+    def _per_node_seconds(self, per_partition_seconds: List[float]) -> List[float]:
+        """Fold per-partition timings into per-node sums (partitions are
+        interleaved node-major by Dataset construction)."""
+        per_node = [0.0] * len(self.nodes)
+        partitions_per_node = self.config.partitions_per_node
+        for index, seconds in enumerate(per_partition_seconds):
+            node_index = min(index // partitions_per_node, len(self.nodes) - 1)
+            per_node[node_index] += seconds
+        return per_node

@@ -1,0 +1,156 @@
+"""Configuration objects shared across the storage engine and the cluster.
+
+The paper's experiments vary a small number of knobs — the storage format
+(open / closed / inferred / schema-less vector-based), whether page-level
+compression is enabled, the storage device the data lives on, the LSM
+memory budget and merge policy, and the number of partitions.  This module
+groups those knobs into small frozen dataclasses so a whole experiment can
+be described declaratively and reproduced from its configuration alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class StorageFormat(enum.Enum):
+    """Physical record format used by a dataset's primary index.
+
+    * ``OPEN`` — AsterixDB-style self-describing ADM records where every
+      undeclared field stores its name and type inline (the paper's
+      schema-less baseline; what MongoDB/Couchbase do).
+    * ``CLOSED`` — ADM records whose fields are all pre-declared, so field
+      names live in the metadata catalog instead of in each record.
+    * ``INFERRED`` — the paper's contribution: vector-based records that are
+      compacted against a schema inferred by the tuple compactor during LSM
+      flushes.
+    * ``SL_VB`` — "schema-less vector-based": vector-based records without
+      schema inference or compaction.  Used by the Figure 21 ablation to
+      separate the encoding win from the compaction win.
+    """
+
+    OPEN = "open"
+    CLOSED = "closed"
+    INFERRED = "inferred"
+    SL_VB = "sl-vb"
+
+    @property
+    def uses_vector_format(self) -> bool:
+        """Whether records are physically stored in the vector-based format."""
+        return self in (StorageFormat.INFERRED, StorageFormat.SL_VB)
+
+    @property
+    def compacts_records(self) -> bool:
+        """Whether the tuple compactor strips field names during flushes."""
+        return self is StorageFormat.INFERRED
+
+
+class DeviceKind(enum.Enum):
+    """Storage device classes evaluated in the paper."""
+
+    SATA_SSD = "sata-ssd"
+    NVME_SSD = "nvme-ssd"
+    IN_MEMORY = "in-memory"
+
+
+#: Sequential bandwidths quoted in the paper's experiment setup (bytes/second).
+DEVICE_PROFILES = {
+    DeviceKind.SATA_SSD: {
+        "read_bandwidth": 550 * 1024 * 1024,
+        "write_bandwidth": 520 * 1024 * 1024,
+        "seek_latency": 80e-6,
+    },
+    DeviceKind.NVME_SSD: {
+        "read_bandwidth": 3400 * 1024 * 1024,
+        "write_bandwidth": 2500 * 1024 * 1024,
+        "seek_latency": 15e-6,
+    },
+    DeviceKind.IN_MEMORY: {
+        "read_bandwidth": 20 * 1024 * 1024 * 1024,
+        "write_bandwidth": 20 * 1024 * 1024 * 1024,
+        "seek_latency": 0.0,
+    },
+}
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Knobs of the storage substrate (pages, cache, device, compression)."""
+
+    page_size: int = 16 * 1024
+    buffer_cache_pages: int = 4096
+    device_kind: DeviceKind = DeviceKind.NVME_SSD
+    compression: Optional[str] = None  # codec name, e.g. "zlib"; None = off
+    compression_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 256:
+            raise ValueError(f"page_size must be > 256 bytes, got {self.page_size}")
+        if self.buffer_cache_pages <= 0:
+            raise ValueError("buffer_cache_pages must be positive")
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Knobs of the LSM tree manager."""
+
+    #: Size, in bytes of encoded records, after which the in-memory component
+    #: is flushed to disk.
+    memory_component_budget: int = 8 * 1024 * 1024
+    #: Merge policy name: "prefix", "constant", or "none".
+    merge_policy: str = "prefix"
+    #: Prefix policy: maximum size (bytes) of a component eligible for merging.
+    max_mergable_component_size: int = 1024 * 1024 * 1024
+    #: Prefix policy: merge once this many mergeable components accumulate.
+    max_tolerable_component_count: int = 5
+    #: Keep a primary-key-only index to cheapen upsert existence checks
+    #: (Luo & Carey's optimization the paper adopts for Figure 17b).
+    maintain_primary_key_index: bool = True
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Everything needed to create a dataset (paper §2.1 + §3)."""
+
+    name: str
+    primary_key: str = "id"
+    storage_format: StorageFormat = StorageFormat.OPEN
+    #: The ``{"tuple-compactor-enabled": true}`` WITH-clause of Figure 8.
+    tuple_compactor_enabled: bool = False
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    lsm: LSMConfig = field(default_factory=LSMConfig)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dataset name must be non-empty")
+        if not self.primary_key:
+            raise ValueError("primary_key must be non-empty")
+        # "inferred" implies the tuple compactor; keep the two flags coherent
+        # so experiment configs cannot silently disagree with themselves.
+        if self.storage_format is StorageFormat.INFERRED and not self.tuple_compactor_enabled:
+            object.__setattr__(self, "tuple_compactor_enabled", True)
+        if self.tuple_compactor_enabled and not self.storage_format.uses_vector_format:
+            raise ValueError(
+                "tuple-compactor-enabled requires a vector-based storage format "
+                f"(got {self.storage_format.value})"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology of a simulated AsterixDB cluster (paper Figure 3)."""
+
+    node_count: int = 1
+    partitions_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if self.partitions_per_node <= 0:
+            raise ValueError("partitions_per_node must be positive")
+
+    @property
+    def total_partitions(self) -> int:
+        return self.node_count * self.partitions_per_node

@@ -1,0 +1,172 @@
+"""Dataset: the public, AsterixDB-like entry point of the library.
+
+A dataset is created from a :class:`~repro.config.DatasetConfig` (the
+equivalent of ``CREATE DATASET ... WITH {"tuple-compactor-enabled": true}``,
+paper Figure 8) over one or more storage environments.  Records are
+hash-partitioned on the primary key across the dataset's partitions
+(paper §2.2); every partition runs its own LSM index and — for inferred
+datasets — its own tuple compactor with its own, independently grown schema
+(§3.4.1).
+
+The query engine (:mod:`repro.query`) executes jobs against the dataset's
+partitions; this class only exposes the storage-level API: ingest, point
+lookups, scans, secondary indexes, bulk load, flush, and statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..config import DatasetConfig, StorageFormat
+from ..errors import DatasetError
+from ..schema import InferredSchema
+from ..types import Datatype, open_only_primary_key
+from .environment import StorageEnvironment
+from .partition import Partition
+
+
+def hash_partition(key: Any, partition_count: int) -> int:
+    """Deterministic hash partitioning of a primary key.
+
+    Python's builtin ``hash`` is salted per process for strings, which would
+    make experiments irreproducible, so integers use a Knuth-style multiply
+    and strings a small FNV-1a.
+    """
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        key = str(key)
+    if isinstance(key, int):
+        return (key * 2654435761 & 0xFFFFFFFF) % partition_count
+    digest = 2166136261
+    for byte in key.encode("utf-8"):
+        digest = ((digest ^ byte) * 16777619) & 0xFFFFFFFF
+    return digest % partition_count
+
+
+class Dataset:
+    """A logical dataset spread over one or more partitions."""
+
+    def __init__(self, config: DatasetConfig, environments: Sequence[StorageEnvironment],
+                 partitions_per_environment: int = 1,
+                 datatype: Optional[Datatype] = None) -> None:
+        if not environments:
+            raise DatasetError("a dataset needs at least one storage environment")
+        self.config = config
+        self.datatype = datatype if datatype is not None else open_only_primary_key(
+            f"{config.name}Type", config.primary_key)
+        self.environments = list(environments)
+        self.partitions: List[Partition] = []
+        partition_id = 0
+        for environment in self.environments:
+            for _ in range(partitions_per_environment):
+                self.partitions.append(Partition(config, partition_id, environment, self.datatype))
+                partition_id += 1
+
+    # ------------------------------------------------------------------ factory
+
+    @classmethod
+    def create(cls, name: str, storage_format: StorageFormat = StorageFormat.OPEN,
+               environment: Optional[StorageEnvironment] = None,
+               datatype: Optional[Datatype] = None, primary_key: str = "id",
+               partitions: int = 1, **config_overrides) -> "Dataset":
+        """Single-node convenience factory (most examples and tests use this)."""
+        from dataclasses import replace
+
+        environment = environment or StorageEnvironment()
+        config = DatasetConfig(name=name, primary_key=primary_key, storage_format=storage_format,
+                               tuple_compactor_enabled=storage_format is StorageFormat.INFERRED)
+        if config_overrides:
+            config = replace(config, **config_overrides)
+        return cls(config, [environment], partitions_per_environment=partitions, datatype=datatype)
+
+    # ------------------------------------------------------------------ writes
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    def _partition_for(self, key: Any) -> Partition:
+        return self.partitions[hash_partition(key, self.partition_count)]
+
+    def _key_of(self, record: Dict[str, Any]) -> Any:
+        try:
+            return record[self.config.primary_key]
+        except KeyError as exc:
+            raise DatasetError(
+                f"record is missing the primary key field {self.config.primary_key!r}"
+            ) from exc
+
+    def insert(self, record: Dict[str, Any]) -> None:
+        self._partition_for(self._key_of(record)).insert(record)
+
+    def insert_all(self, records: Iterable[Dict[str, Any]]) -> int:
+        count = 0
+        for record in records:
+            self.insert(record)
+            count += 1
+        return count
+
+    def upsert(self, record: Dict[str, Any]) -> None:
+        self._partition_for(self._key_of(record)).upsert(record)
+
+    def delete(self, key: Any) -> None:
+        self._partition_for(key).delete(key)
+
+    def bulk_load(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Bulk load (sort + bottom-up B+-tree build per partition, §4.3)."""
+        buckets: List[List[Dict[str, Any]]] = [[] for _ in self.partitions]
+        for record in records:
+            buckets[hash_partition(self._key_of(record), self.partition_count)].append(record)
+        for partition, bucket in zip(self.partitions, buckets):
+            partition.bulk_load(bucket)
+
+    def flush_all(self) -> None:
+        for partition in self.partitions:
+            partition.flush()
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        return self._partition_for(key).search(key)
+
+    def scan(self) -> Iterator[Dict[str, Any]]:
+        for partition in self.partitions:
+            yield from partition.scan_records()
+
+    def count(self) -> int:
+        return sum(partition.record_count() for partition in self.partitions)
+
+    # ------------------------------------------------------------------ secondary indexes
+
+    def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:
+        for partition in self.partitions:
+            partition.create_secondary_index(name, field_path)
+
+    def secondary_range_search(self, index_name: str, low: Any, high: Any) -> List[Dict[str, Any]]:
+        results: List[Dict[str, Any]] = []
+        for partition in self.partitions:
+            results.extend(partition.secondary_range_search(index_name, low, high))
+        return results
+
+    # ------------------------------------------------------------------ schemas & stats
+
+    def schemas(self) -> Dict[int, Optional[InferredSchema]]:
+        """Per-partition schemas (the schema-broadcast payload of §3.4.1)."""
+        return {partition.partition_id: partition.current_schema() for partition in self.partitions}
+
+    def storage_size(self) -> int:
+        return sum(partition.storage_size() for partition in self.partitions)
+
+    def ingest_stats(self) -> Dict[str, int]:
+        totals = {"inserts": 0, "deletes": 0, "upserts": 0, "flushes": 0, "merges": 0,
+                  "maintenance_point_lookups": 0, "bytes_flushed": 0, "bytes_merged": 0}
+        for partition in self.partitions:
+            stats = partition.index.stats
+            for field_name in totals:
+                totals[field_name] += getattr(stats, field_name)
+        return totals
+
+    def describe_schema(self, partition_id: int = 0) -> str:
+        schema = self.partitions[partition_id].current_schema()
+        if schema is None:
+            return "<no inferred schema: tuple compactor disabled>"
+        return schema.describe()

@@ -1,0 +1,69 @@
+"""Per-node storage environment: device, file manager, buffer cache, WAL.
+
+In AsterixDB (paper Figure 3) each node controller owns a buffer cache, an
+in-memory-component memory budget, and a transaction log that its data
+partitions share, while each partition manages its own files on its own
+storage device.  A :class:`StorageEnvironment` bundles exactly those per-node
+resources so datasets and the cluster simulator can create partitions
+against it without re-plumbing devices and caches everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DeviceKind, StorageConfig
+from ..storage import (
+    BufferCache,
+    FileManager,
+    InMemoryFileManager,
+    SimulatedStorageDevice,
+    WriteAheadLog,
+    get_codec,
+)
+
+
+class StorageEnvironment:
+    """Everything a node needs to host dataset partitions."""
+
+    def __init__(self, storage_config: Optional[StorageConfig] = None,
+                 base_dir: Optional[str] = None, node_id: int = 0) -> None:
+        self.config = storage_config or StorageConfig()
+        self.node_id = node_id
+        self.device = SimulatedStorageDevice(self.config.device_kind)
+        codec = get_codec(self.config.compression, self.config.compression_level)
+        if base_dir is None:
+            self.file_manager = InMemoryFileManager(self.device, self.config.page_size, codec)
+        else:
+            self.file_manager = FileManager(base_dir, self.device, self.config.page_size, codec)
+        self.buffer_cache = BufferCache(self.file_manager, self.config.buffer_cache_pages)
+        self.wal = WriteAheadLog(self.device)
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def compression_enabled(self) -> bool:
+        return self.config.compression is not None
+
+    def storage_size(self) -> int:
+        """Total bytes stored across every file of this environment."""
+        return self.file_manager.total_size()
+
+    def simulated_io_seconds(self) -> float:
+        return self.device.simulated_seconds()
+
+    def reset_io_accounting(self) -> None:
+        self.device.reset()
+
+    def drop_caches(self) -> None:
+        """Empty the buffer cache (cold-start a query experiment)."""
+        self.buffer_cache.clear()
+
+    @classmethod
+    def for_device(cls, device_kind: DeviceKind, compression: Optional[str] = None,
+                   page_size: int = 16 * 1024, buffer_cache_pages: int = 4096,
+                   node_id: int = 0) -> "StorageEnvironment":
+        """Convenience factory used heavily by benchmarks and examples."""
+        return cls(StorageConfig(page_size=page_size, buffer_cache_pages=buffer_cache_pages,
+                                 device_kind=device_kind, compression=compression),
+                   node_id=node_id)

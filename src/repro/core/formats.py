@@ -1,0 +1,131 @@
+"""Record-format codecs and uniform record views.
+
+A dataset's :class:`~repro.config.StorageFormat` decides how its records are
+physically encoded (paper §4: *open* and *closed* use the ADM format,
+*inferred* and *SL-VB* use the vector-based format) and, consequently, how
+fields are accessed at query time: offset-guided navigation for ADM records
+versus a consolidated linear scan for vector-based records.
+
+To keep the query engine format-agnostic, every stored record is exposed to
+it through the small ``RecordView`` protocol — ``get_field``, ``get_values``,
+``get_items``, ``materialize`` — implemented by the ADM view, the vector
+view, and a plain-dict view (used for records still in the memtable and for
+intermediate query results).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..adm import ADMEncoder, ADMRecordView
+from ..config import StorageFormat
+from ..schema import InferredSchema
+from ..types import AMultiset, Datatype, MISSING
+from ..vector import VectorEncoder, VectorRecordView
+
+
+class DictRecordView:
+    """Record view over an already-materialized Python dict."""
+
+    def __init__(self, record: Dict[str, Any]) -> None:
+        self.record = record
+
+    def materialize(self) -> Dict[str, Any]:
+        return self.record
+
+    def get_field(self, *path: Any) -> Any:
+        if "*" in path:
+            index = path.index("*")
+            prefix, suffix = path[:index], path[index + 1:]
+            collection = self.get_field(*prefix) if prefix else self.record
+            items = collection.items if isinstance(collection, AMultiset) else collection
+            if not isinstance(items, (list, tuple)):
+                return MISSING
+            if not suffix:
+                return list(items)
+            return [DictRecordView(item).get_field(*suffix) if isinstance(item, dict) else MISSING
+                    for item in items]
+        value: Any = self.record
+        for step in path:
+            if isinstance(step, str):
+                if not isinstance(value, dict) or step not in value:
+                    return MISSING
+                value = value[step]
+            else:
+                items = value.items if isinstance(value, AMultiset) else value
+                if not isinstance(items, (list, tuple)) or not isinstance(step, int):
+                    return MISSING
+                if step < 0 or step >= len(items):
+                    return MISSING
+                value = items[step]
+        return value
+
+    def get_values(self, *paths: Sequence[Any]) -> List[Any]:
+        results = []
+        for path in paths:
+            if "*" in path:
+                index = path.index("*")
+                prefix, suffix = list(path[:index]), list(path[index + 1:])
+                collection = self.get_field(*prefix)
+                items = collection.items if isinstance(collection, AMultiset) else collection
+                matches = []
+                if isinstance(items, (list, tuple)):
+                    for item in items:
+                        value = DictRecordView(item).get_field(*suffix) if suffix else item
+                        if isinstance(item, dict) or not suffix:
+                            matches.append(value if suffix else item)
+                        else:
+                            matches.append(MISSING)
+                results.append(matches)
+            else:
+                results.append(self.get_field(*path))
+        return results
+
+    def get_items(self, *path: Any) -> Sequence[Any]:
+        value = self.get_field(*path)
+        if isinstance(value, AMultiset):
+            return list(value.items)
+        if isinstance(value, list):
+            return value
+        if value is MISSING or value is None:
+            return []
+        return [value]
+
+
+class RecordFormatCodec:
+    """Encodes records for storage and re-opens stored payloads as views."""
+
+    def __init__(self, storage_format: StorageFormat, datatype: Optional[Datatype],
+                 validate: bool = True) -> None:
+        self.storage_format = storage_format
+        self.datatype = datatype
+        if storage_format.uses_vector_format:
+            self._encoder = VectorEncoder(datatype, validate=validate)
+        else:
+            self._encoder = ADMEncoder(datatype, validate=validate)
+
+    # -- encoding -----------------------------------------------------------------
+
+    def encode(self, record: Dict[str, Any]) -> bytes:
+        """Encode one record into its in-memory-component representation.
+
+        For vector-based formats this is always the *uncompacted* form; the
+        tuple compactor produces the compacted form during flushes.
+        """
+        return self._encoder.encode(record)
+
+    # -- views ----------------------------------------------------------------------
+
+    def view(self, payload: bytes, schema: Optional[InferredSchema] = None):
+        """Open a stored payload as a record view."""
+        if self.storage_format.uses_vector_format:
+            dictionary = schema.dictionary if schema is not None else None
+            return VectorRecordView(payload, self.datatype, dictionary)
+        return ADMRecordView(payload, self.datatype)
+
+    def decode(self, payload: bytes, schema: Optional[InferredSchema] = None) -> Dict[str, Any]:
+        """Materialize a stored payload back into a Python record."""
+        return self.view(payload, schema).materialize()
+
+    def view_of_record(self, record: Dict[str, Any]) -> DictRecordView:
+        return DictRecordView(record)

@@ -1,0 +1,160 @@
+"""One data partition of a dataset: primary LSM index + record codec.
+
+A partition owns its primary LSM B+-tree (and, through it, the per-component
+primary-key and secondary indexes), encodes incoming records with the
+dataset's record-format codec, and — when the dataset enables the tuple
+compactor — hosts the partition-local :class:`~repro.core.TupleCompactor`
+whose schema is entirely independent of other partitions' schemas
+(paper §3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..config import DatasetConfig
+from ..lsm import LSMBTree, SecondaryIndexDef, make_merge_policy, recover_index
+from ..lsm.lifecycle import FlushCallback
+from ..schema import InferredSchema
+from ..types import Datatype
+from .environment import StorageEnvironment
+from .formats import DictRecordView, RecordFormatCodec
+from .tuple_compactor import TupleCompactor
+
+
+class Partition:
+    """A single hash-partition of a dataset on one node."""
+
+    def __init__(self, config: DatasetConfig, partition_id: int,
+                 environment: StorageEnvironment, datatype: Optional[Datatype]) -> None:
+        self.config = config
+        self.partition_id = partition_id
+        self.environment = environment
+        self.datatype = datatype
+        self.codec = RecordFormatCodec(config.storage_format, datatype)
+        if config.tuple_compactor_enabled:
+            self.compactor: Optional[TupleCompactor] = TupleCompactor(datatype)
+            callback: FlushCallback = self.compactor
+        else:
+            self.compactor = None
+            callback = FlushCallback()
+        merge_policy = make_merge_policy(
+            config.lsm.merge_policy,
+            config.lsm.max_mergable_component_size,
+            config.lsm.max_tolerable_component_count,
+        )
+        self.index = LSMBTree(
+            name=config.name,
+            partition=partition_id,
+            buffer_cache=environment.buffer_cache,
+            memory_budget=config.lsm.memory_component_budget,
+            merge_policy=merge_policy,
+            flush_callback=callback,
+            wal=environment.wal,
+            maintain_primary_key_index=config.lsm.maintain_primary_key_index,
+        )
+
+    # ------------------------------------------------------------------ writes
+
+    def _key_of(self, record: Dict[str, Any]) -> Any:
+        try:
+            return record[self.config.primary_key]
+        except KeyError as exc:
+            raise KeyError(f"record is missing the primary key {self.config.primary_key!r}") from exc
+
+    def insert(self, record: Dict[str, Any]) -> None:
+        key = self._key_of(record)
+        self.index.insert(key, record, self.codec.encode(record))
+
+    def upsert(self, record: Dict[str, Any]) -> None:
+        key = self._key_of(record)
+        self.index.upsert(key, record, self.codec.encode(record))
+
+    def delete(self, key: Any) -> None:
+        self.index.delete(key)
+
+    def bulk_load(self, records: Sequence[Dict[str, Any]]) -> None:
+        rows = [(self._key_of(record), record, self.codec.encode(record)) for record in records]
+        self.index.load(rows)
+
+    def flush(self) -> None:
+        self.index.flush()
+
+    # ------------------------------------------------------------------ reads
+
+    def search(self, key: Any) -> Optional[Dict[str, Any]]:
+        result = self.index.search(key)
+        if result is None:
+            return None
+        if result.record is not None:
+            return result.record
+        return self.codec.decode(result.payload, result.schema or self.current_schema())
+
+    def scan_views(self) -> Iterator[Any]:
+        """Yield a record view per live record (the query engine's scan source)."""
+        for result in self.index.scan():
+            if result.record is not None:
+                yield DictRecordView(result.record)
+            else:
+                yield self.codec.view(result.payload, result.schema or self.current_schema())
+
+    def scan_records(self) -> Iterator[Dict[str, Any]]:
+        for view in self.scan_views():
+            yield view.materialize()
+
+    # ------------------------------------------------------------------ secondary indexes
+
+    def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:
+        codec = self.codec
+
+        def extractor(payload: bytes, schema: Optional[InferredSchema]) -> Any:
+            view = codec.view(payload, schema)
+            value = view.get_field(*field_path)
+            if value is None or isinstance(value, (dict, list)):
+                return None
+            from ..types import MISSING
+            if value is MISSING:
+                return None
+            return value
+
+        self.index.add_secondary_index(SecondaryIndexDef(name=name, extractor=extractor))
+
+    def secondary_range_search(self, index_name: str, low: Any, high: Any) -> List[Dict[str, Any]]:
+        """Range query through a secondary index: keys first, then records."""
+        keys = self.index.secondary_range_lookup(index_name, low, high)
+        keys.sort()
+        records = []
+        for key in keys:
+            record = self.search(key)
+            if record is not None:
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------------ maintenance & stats
+
+    def current_schema(self) -> Optional[InferredSchema]:
+        if self.compactor is not None:
+            return self.compactor.schema
+        return None
+
+    def storage_size(self) -> int:
+        return self.index.storage_size()
+
+    def record_count(self) -> int:
+        """Exact live-record count (reconciling updates and deletes)."""
+        return self.index.exact_count()
+
+    def recover(self) -> "Partition":
+        """Re-activate this partition after a simulated crash.
+
+        The partition object must be freshly constructed (empty memtable, no
+        components); recovery re-discovers valid components, reloads the
+        newest schema, replays the WAL, and flushes (paper §3.1.2).
+        """
+        recover_index(
+            self.index,
+            wal=self.environment.wal,
+            datatype=self.datatype,
+            payload_decoder=lambda payload: self.codec.decode(payload, None),
+        )
+        return self

@@ -1,0 +1,6 @@
+"""Synthetic workload generators mirroring the paper's three datasets."""
+
+from . import sensors, twitter, wos
+from .stats import DatasetStatistics, dataset_statistics
+
+__all__ = ["twitter", "wos", "sensors", "DatasetStatistics", "dataset_statistics"]

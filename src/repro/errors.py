@@ -1,0 +1,95 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while the
+more specific subclasses keep failure modes distinguishable in tests and in
+production logging.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TypeError_(ReproError):
+    """A value does not match the type expected by the data model.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``TypeError`` while still reading naturally at call sites
+    (``raise TypeError_(...)``).
+    """
+
+
+class EncodingError(ReproError):
+    """A record could not be encoded into a physical format."""
+
+
+class DecodingError(ReproError):
+    """A byte payload could not be decoded back into a record."""
+
+
+class SchemaError(ReproError):
+    """Schema inference or maintenance hit an inconsistent state."""
+
+
+class SchemaViolationError(SchemaError):
+    """A record violates a *declared* (closed) datatype.
+
+    Raised, for instance, when a closed datatype declares ``age: int`` and an
+    incoming record carries ``age`` as a string, or omits a non-optional
+    declared field.
+    """
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (pages, files, buffer cache)."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that does not exist in the file."""
+
+
+class BufferCacheFullError(StorageError):
+    """The buffer cache cannot evict a page to make room (all pinned)."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class ComponentStateError(ReproError):
+    """An LSM component was used in a state that does not permit the call.
+
+    Examples: reading from an INVALID component, flushing an already-flushed
+    in-memory component, or merging components that are not adjacent.
+    """
+
+
+class DatasetError(ReproError):
+    """Dataset-level misuse (unknown dataset, duplicate creation, ...)."""
+
+
+class DuplicateKeyError(DatasetError):
+    """An insert supplied a primary key that already exists."""
+
+
+class KeyNotFoundError(DatasetError):
+    """A delete/update referenced a primary key that does not exist."""
+
+
+class QueryError(ReproError):
+    """A query plan could not be built or executed."""
+
+
+class OptimizerError(QueryError):
+    """An optimizer rewrite produced or encountered an invalid plan."""
+
+
+class FeedError(ReproError):
+    """A data feed was misconfigured or used after being closed."""
+
+
+class ClusterError(ReproError):
+    """Cluster-level misconfiguration (bad partition counts, node ids...)."""

@@ -1,0 +1,17 @@
+"""Comparison record formats (paper Table 2 + the MongoDB/BSON baseline)."""
+
+from .avro_like import AvroLikeEncoder
+from .bson_like import decode_document, encode_document
+from .protobuf_like import ProtobufLikeEncoder
+from .schema_driven import FormatSchema
+from .thrift_like import ThriftBinaryEncoder, ThriftCompactEncoder
+
+__all__ = [
+    "FormatSchema",
+    "AvroLikeEncoder",
+    "ThriftBinaryEncoder",
+    "ThriftCompactEncoder",
+    "ProtobufLikeEncoder",
+    "encode_document",
+    "decode_document",
+]

@@ -1,0 +1,79 @@
+"""Avro-like binary encoder (schema-driven, no per-record metadata).
+
+Follows the Apache Avro binary encoding rules for the types the datasets
+use: zig-zag varint integers, length-prefixed UTF-8 strings, IEEE-754
+little-endian doubles, one-byte booleans, arrays as a varint item count
+followed by the items and a zero terminator, and records as their fields in
+schema order.  Every record field is treated as the union
+``[null, <type>]`` — the idiomatic way to declare optional fields in Avro —
+so each present field costs one extra varint for the union branch and each
+absent field costs exactly one byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict
+
+from ..errors import EncodingError
+from ..types import ADate, ADateTime, AMultiset, APoint, ATime, Missing
+from .schema_driven import FormatSchema, collection_items
+from .varint import encode_varint, encode_zigzag_varint
+
+_NULL_BRANCH = encode_varint(0)
+_VALUE_BRANCH = encode_varint(1)
+
+
+class AvroLikeEncoder:
+    """Encodes records against a :class:`FormatSchema`."""
+
+    name = "avro"
+
+    def __init__(self, schema: FormatSchema) -> None:
+        self.schema = schema
+
+    def encode(self, record: Dict[str, Any]) -> bytes:
+        return self._encode_record("", record)
+
+    def _encode_record(self, path: str, record: Dict[str, Any]) -> bytes:
+        out = bytearray()
+        for name, _field_id in self.schema.fields_of(path):
+            value = record.get(name, None)
+            if value is None or isinstance(value, Missing):
+                out += _NULL_BRANCH
+                continue
+            out += _VALUE_BRANCH
+            out += self._encode_value(self.schema.child_path(path, name), value)
+        return bytes(out)
+
+    def _encode_value(self, path: str, value: Any) -> bytes:
+        if isinstance(value, bool):
+            return b"\x01" if value else b"\x00"
+        if isinstance(value, int):
+            return encode_zigzag_varint(value)
+        if isinstance(value, float):
+            return struct.pack("<d", value)
+        if isinstance(value, str):
+            payload = value.encode("utf-8")
+            return encode_varint(len(payload)) + payload
+        if isinstance(value, dict):
+            return self._encode_record(path, value)
+        if isinstance(value, (list, tuple, AMultiset)):
+            items = collection_items(value)
+            out = bytearray()
+            if items:
+                out += encode_zigzag_varint(len(items))
+                item_path = self.schema.item_path(path)
+                for item in items:
+                    out += self._encode_value(item_path, item)
+            out += encode_varint(0)  # end of blocks
+            return bytes(out)
+        if isinstance(value, ADateTime):
+            return encode_zigzag_varint(value.millis_since_epoch)
+        if isinstance(value, ADate):
+            return encode_zigzag_varint(value.days_since_epoch)
+        if isinstance(value, ATime):
+            return encode_zigzag_varint(value.millis_since_midnight)
+        if isinstance(value, APoint):
+            return struct.pack("<dd", value.x, value.y)
+        raise EncodingError(f"Avro-like encoder cannot handle {type(value).__name__}")

@@ -1,0 +1,116 @@
+"""BSON-like self-describing encoder (the MongoDB storage baseline).
+
+The paper compares AsterixDB's compressed *open* storage size with
+MongoDB's compressed collection size to show they are comparable (§4.2).
+MongoDB stores documents in BSON, so this module implements the relevant
+subset of the BSON wire format — enough to measure how many bytes a
+document-per-document, self-describing store needs for the same records.
+Like real BSON it stores every field name inline, every element with a type
+byte, and arrays as documents with stringified integer keys; that is the
+metadata overhead page-level compression then squeezes back out.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Tuple
+
+from ..errors import EncodingError
+from ..types import ADate, ADateTime, AMultiset, APoint, ATime, Missing
+
+_DOUBLE = 0x01
+_STRING = 0x02
+_DOCUMENT = 0x03
+_ARRAY = 0x04
+_BOOLEAN = 0x08
+_DATETIME = 0x09
+_NULL = 0x0A
+_INT32 = 0x10
+_INT64 = 0x12
+
+
+def encode_document(document: Dict[str, Any]) -> bytes:
+    """Encode a dict into BSON-like bytes."""
+    body = bytearray()
+    for name, value in document.items():
+        if isinstance(value, Missing):
+            continue
+        body += _encode_element(name, value)
+    # int32 total length + body + trailing NUL, exactly like BSON.
+    return struct.pack("<i", len(body) + 5) + bytes(body) + b"\x00"
+
+
+def _cstring(text: str) -> bytes:
+    return text.encode("utf-8") + b"\x00"
+
+
+def _encode_element(name: str, value: Any) -> bytes:
+    if value is None:
+        return bytes([_NULL]) + _cstring(name)
+    if isinstance(value, bool):
+        return bytes([_BOOLEAN]) + _cstring(name) + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        if -(2 ** 31) <= value < 2 ** 31:
+            return bytes([_INT32]) + _cstring(name) + struct.pack("<i", value)
+        return bytes([_INT64]) + _cstring(name) + struct.pack("<q", value)
+    if isinstance(value, float):
+        return bytes([_DOUBLE]) + _cstring(name) + struct.pack("<d", value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8") + b"\x00"
+        return bytes([_STRING]) + _cstring(name) + struct.pack("<i", len(payload)) + payload
+    if isinstance(value, dict):
+        return bytes([_DOCUMENT]) + _cstring(name) + encode_document(value)
+    if isinstance(value, (list, tuple, AMultiset)):
+        items = value.items if isinstance(value, AMultiset) else value
+        as_document = {str(index): item for index, item in enumerate(items)}
+        return bytes([_ARRAY]) + _cstring(name) + encode_document(as_document)
+    if isinstance(value, ADateTime):
+        return bytes([_DATETIME]) + _cstring(name) + struct.pack("<q", value.millis_since_epoch)
+    if isinstance(value, ADate):
+        millis = value.days_since_epoch * 24 * 60 * 60 * 1000
+        return bytes([_DATETIME]) + _cstring(name) + struct.pack("<q", millis)
+    if isinstance(value, ATime):
+        return bytes([_DATETIME]) + _cstring(name) + struct.pack("<q", value.millis_since_midnight)
+    if isinstance(value, APoint):
+        return _encode_element(name, {"x": value.x, "y": value.y})
+    raise EncodingError(f"BSON-like encoder cannot handle {type(value).__name__}")
+
+
+def decode_document(payload: bytes, offset: int = 0) -> Tuple[Dict[str, Any], int]:
+    """Decode a BSON-like document (for round-trip tests)."""
+    (length,) = struct.unpack_from("<i", payload, offset)
+    end = offset + length - 1  # trailing NUL
+    cursor = offset + 4
+    document: Dict[str, Any] = {}
+    while cursor < end:
+        element_type = payload[cursor]
+        cursor += 1
+        name_end = payload.index(b"\x00", cursor)
+        name = payload[cursor:name_end].decode("utf-8")
+        cursor = name_end + 1
+        value, cursor = _decode_value(element_type, payload, cursor)
+        document[name] = value
+    return document, end + 1
+
+
+def _decode_value(element_type: int, payload: bytes, cursor: int) -> Tuple[Any, int]:
+    if element_type == _NULL:
+        return None, cursor
+    if element_type == _BOOLEAN:
+        return payload[cursor] == 1, cursor + 1
+    if element_type == _INT32:
+        return struct.unpack_from("<i", payload, cursor)[0], cursor + 4
+    if element_type in (_INT64, _DATETIME):
+        return struct.unpack_from("<q", payload, cursor)[0], cursor + 8
+    if element_type == _DOUBLE:
+        return struct.unpack_from("<d", payload, cursor)[0], cursor + 8
+    if element_type == _STRING:
+        (length,) = struct.unpack_from("<i", payload, cursor)
+        start = cursor + 4
+        return payload[start:start + length - 1].decode("utf-8"), start + length
+    if element_type == _DOCUMENT:
+        return decode_document(payload, cursor)
+    if element_type == _ARRAY:
+        document, cursor = decode_document(payload, cursor)
+        return [document[key] for key in sorted(document, key=int)], cursor
+    raise EncodingError(f"unknown BSON element type 0x{element_type:02x}")

@@ -1,0 +1,162 @@
+"""Thrift-like encoders: Binary Protocol (BP) and Compact Protocol (CP).
+
+Both follow Apache Thrift's struct encoding: every present field is written
+as a field header (type + numeric field id) followed by its value, and a
+stop byte terminates the struct.  The Binary Protocol uses fixed-width
+headers and integers (type: 1 byte, field id: 2 bytes, i64: 8 bytes,
+string length: 4 bytes); the Compact Protocol packs the field-id delta and
+type into one byte where possible and uses zig-zag varints for integers and
+lengths — the reason Table 2 shows Thrift CP producing the smallest
+encoding of the compared formats.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict
+
+from ..errors import EncodingError
+from ..types import ADate, ADateTime, AMultiset, APoint, ATime, Missing
+from .schema_driven import FormatSchema, collection_items
+from .varint import encode_varint, encode_zigzag_varint
+
+# Thrift type ids (shared by both protocols for our purposes).
+_T_BOOL = 2
+_T_I64 = 10
+_T_DOUBLE = 4
+_T_STRING = 11
+_T_STRUCT = 12
+_T_LIST = 15
+_T_STOP = 0
+
+
+def _thrift_type(value: Any) -> int:
+    if isinstance(value, bool):
+        return _T_BOOL
+    if isinstance(value, int) or isinstance(value, (ADate, ADateTime, ATime)):
+        return _T_I64
+    if isinstance(value, float):
+        return _T_DOUBLE
+    if isinstance(value, str):
+        return _T_STRING
+    if isinstance(value, dict) or isinstance(value, APoint):
+        return _T_STRUCT
+    if isinstance(value, (list, tuple, AMultiset)):
+        return _T_LIST
+    raise EncodingError(f"Thrift-like encoder cannot handle {type(value).__name__}")
+
+
+def _as_int(value: Any) -> int:
+    if isinstance(value, ADateTime):
+        return value.millis_since_epoch
+    if isinstance(value, ADate):
+        return value.days_since_epoch
+    if isinstance(value, ATime):
+        return value.millis_since_midnight
+    return value
+
+
+class ThriftBinaryEncoder:
+    """Thrift Binary Protocol (fixed-width headers and integers)."""
+
+    name = "thrift-bp"
+
+    def __init__(self, schema: FormatSchema) -> None:
+        self.schema = schema
+
+    def encode(self, record: Dict[str, Any]) -> bytes:
+        return self._encode_struct("", record)
+
+    def _encode_struct(self, path: str, record: Dict[str, Any]) -> bytes:
+        out = bytearray()
+        for name, field_id in self.schema.fields_of(path):
+            value = record.get(name, None)
+            if value is None or isinstance(value, Missing):
+                continue
+            out.append(_thrift_type(value))
+            out += struct.pack(">h", field_id)
+            out += self._encode_value(self.schema.child_path(path, name), value)
+        out.append(_T_STOP)
+        return bytes(out)
+
+    def _encode_value(self, path: str, value: Any) -> bytes:
+        if isinstance(value, bool):
+            return b"\x01" if value else b"\x00"
+        if isinstance(value, (int, ADate, ADateTime, ATime)):
+            return struct.pack(">q", _as_int(value))
+        if isinstance(value, float):
+            return struct.pack(">d", value)
+        if isinstance(value, str):
+            payload = value.encode("utf-8")
+            return struct.pack(">i", len(payload)) + payload
+        if isinstance(value, APoint):
+            return self._encode_struct(path, {"x": value.x, "y": value.y}) \
+                if self.schema.fields_of(path) else struct.pack(">dd", value.x, value.y)
+        if isinstance(value, dict):
+            return self._encode_struct(path, value)
+        items = collection_items(value)
+        item_type = _thrift_type(items[0]) if items else _T_I64
+        out = bytearray([item_type])
+        out += struct.pack(">i", len(items))
+        item_path = self.schema.item_path(path)
+        for item in items:
+            out += self._encode_value(item_path, item)
+        return bytes(out)
+
+
+class ThriftCompactEncoder:
+    """Thrift Compact Protocol (packed field headers, varint integers)."""
+
+    name = "thrift-cp"
+
+    def __init__(self, schema: FormatSchema) -> None:
+        self.schema = schema
+
+    def encode(self, record: Dict[str, Any]) -> bytes:
+        return self._encode_struct("", record)
+
+    def _encode_struct(self, path: str, record: Dict[str, Any]) -> bytes:
+        out = bytearray()
+        previous_id = 0
+        for name, field_id in self.schema.fields_of(path):
+            value = record.get(name, None)
+            if value is None or isinstance(value, Missing):
+                continue
+            delta = field_id - previous_id
+            compact_type = _thrift_type(value)
+            if 1 <= delta <= 15:
+                out.append((delta << 4) | (compact_type & 0x0F))
+            else:
+                out.append(compact_type & 0x0F)
+                out += encode_zigzag_varint(field_id)
+            previous_id = field_id
+            out += self._encode_value(self.schema.child_path(path, name), value)
+        out.append(_T_STOP)
+        return bytes(out)
+
+    def _encode_value(self, path: str, value: Any) -> bytes:
+        if isinstance(value, bool):
+            return b"\x01" if value else b"\x02"  # CP encodes booleans as 1/2
+        if isinstance(value, (int, ADate, ADateTime, ATime)):
+            return encode_zigzag_varint(_as_int(value))
+        if isinstance(value, float):
+            return struct.pack("<d", value)
+        if isinstance(value, str):
+            payload = value.encode("utf-8")
+            return encode_varint(len(payload)) + payload
+        if isinstance(value, APoint):
+            return struct.pack("<dd", value.x, value.y)
+        if isinstance(value, dict):
+            return self._encode_struct(path, value)
+        items = collection_items(value)
+        item_type = _thrift_type(items[0]) if items else _T_I64
+        out = bytearray()
+        if len(items) < 15:
+            out.append((len(items) << 4) | (item_type & 0x0F))
+        else:
+            out.append(0xF0 | (item_type & 0x0F))
+            out += encode_varint(len(items))
+        item_path = self.schema.item_path(path)
+        for item in items:
+            out += self._encode_value(item_path, item)
+        return bytes(out)

@@ -1,0 +1,43 @@
+"""Re-opening auxiliary per-component B+-trees after a restart.
+
+Primary-key indexes and secondary indexes are written with their own footer
+and metadata section (see
+:meth:`repro.lsm.lsm_index.LSMBTree._build_auxiliary_indexes`), so after a
+crash they can simply be re-opened rather than rebuilt.  An auxiliary file
+that is itself INVALID (crash during its construction) is discarded; the
+information it held is reconstructable from the primary component, so the
+recovered component just runs without it.
+"""
+
+from __future__ import annotations
+
+from ..btree import BTree
+from .component import OnDiskComponent, read_component_metadata
+
+
+def reload_auxiliary_tree(index, component: OnDiskComponent) -> None:
+    """Attach the primary-key and secondary index trees of ``component``."""
+    manager = index.buffer_cache.file_manager
+    if index.maintain_primary_key_index:
+        pk_file = component.file_name + ".pk"
+        if manager.exists(pk_file):
+            metadata = read_component_metadata(index.buffer_cache, pk_file)
+            if metadata is not None:
+                component.primary_key_file = pk_file
+                component.primary_key_index = BTree(index.buffer_cache, pk_file, metadata.btree_info)
+            else:
+                manager.delete_file(pk_file)
+    if index.secondary_indexes:
+        component.secondary_files = {}
+        component.secondary_trees = {}
+        for definition in index.secondary_indexes:
+            ix_file = f"{component.file_name}.ix.{definition.name}"
+            if not manager.exists(ix_file):
+                continue
+            metadata = read_component_metadata(index.buffer_cache, ix_file)
+            if metadata is None:
+                manager.delete_file(ix_file)
+                continue
+            component.secondary_files[definition.name] = ix_file
+            component.secondary_trees[definition.name] = BTree(index.buffer_cache, ix_file,
+                                                               metadata.btree_info)

@@ -1,0 +1,68 @@
+"""LSM component identifiers (paper §2.2).
+
+Flushed components receive monotonically increasing sequence numbers
+(``C0``, ``C1``, ...); a merged component's id is the *range* of the ids it
+covers (``[C0, C1]``).  The engine infers recency from these ids — a
+component whose range ends at a larger sequence number is more recent — and
+the tuple compactor relies on that ordering to pick "the most recent
+schema" when components merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..errors import ComponentStateError
+
+
+@total_ordering
+@dataclass(frozen=True)
+class ComponentId:
+    """Identifier covering the flush-sequence range ``[min_seq, max_seq]``."""
+
+    min_seq: int
+    max_seq: int
+
+    def __post_init__(self) -> None:
+        if self.min_seq > self.max_seq:
+            raise ComponentStateError(f"invalid component id range [{self.min_seq}, {self.max_seq}]")
+
+    @classmethod
+    def flushed(cls, sequence: int) -> "ComponentId":
+        """Id of a freshly flushed component."""
+        return cls(sequence, sequence)
+
+    @classmethod
+    def merged(cls, ids: "list[ComponentId]") -> "ComponentId":
+        """Id of the component produced by merging ``ids`` (must be adjacent)."""
+        if not ids:
+            raise ComponentStateError("cannot merge zero components")
+        ordered = sorted(ids)
+        for older, newer in zip(ordered, ordered[1:]):
+            if newer.min_seq != older.max_seq + 1:
+                raise ComponentStateError(
+                    f"components {older} and {newer} are not adjacent and cannot be merged"
+                )
+        return cls(ordered[0].min_seq, ordered[-1].max_seq)
+
+    @property
+    def is_merged(self) -> bool:
+        return self.max_seq > self.min_seq
+
+    def is_newer_than(self, other: "ComponentId") -> bool:
+        """Recency comparison used when reconciling duplicate keys."""
+        return self.max_seq > other.max_seq
+
+    def __lt__(self, other: "ComponentId") -> bool:
+        return (self.max_seq, self.min_seq) < (other.max_seq, other.min_seq)
+
+    def __str__(self) -> str:
+        if self.is_merged:
+            return f"C{self.min_seq}-{self.max_seq}"
+        return f"C{self.min_seq}"
+
+    @property
+    def file_suffix(self) -> str:
+        """Stable suffix used when naming the component's page files."""
+        return f"{self.min_seq}_{self.max_seq}"

@@ -1,0 +1,73 @@
+"""LSM lifecycle callbacks — the hook the tuple compactor piggybacks on.
+
+The paper's central architectural idea is that flush (and merge) operations
+are a natural place to run extra work over the records being written: the
+records are immutable for the duration of the operation and the operation is
+atomic, so a transformation applied during it is atomic too (paper §3.1.2).
+AsterixDB exposes this through LSM I/O operation callbacks; this module
+defines the equivalent interface.
+
+:class:`FlushCallback` is a no-op base class.  The engine invokes it as::
+
+    callback.begin_flush(component_id)
+    for entry in memtable (key order):
+        callback.process_antischema(antischema)        # deletes & upserts
+        payload = callback.transform_record(key, record, encoded)   # inserts
+    schema_bytes, schema = callback.end_flush()
+
+and, for merges::
+
+    schema_bytes, schema = callback.select_merge_schema(components)
+
+The tuple compactor (:mod:`repro.core.tuple_compactor`) implements schema
+inference and record compaction on top of these hooks; datasets without the
+compactor run with the default pass-through behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..schema import InferredSchema
+from .component import OnDiskComponent
+from .component_id import ComponentId
+
+
+class FlushCallback:
+    """Pass-through lifecycle callback (no schema inference, no compaction)."""
+
+    #: Whether delete/upsert operations must fetch the old record's
+    #: anti-schema via a point lookup (paper §3.2.2).  Pass-through datasets
+    #: skip that lookup entirely, which is why the paper's open/closed
+    #: configurations ingest the 50 %-update workload at insert-only speed.
+    needs_antischema = False
+
+    def begin_flush(self, component_id: ComponentId) -> None:
+        """Called when a flush starts, before any entry is processed."""
+
+    def transform_record(self, key: Any, record: Optional[Dict[str, Any]], encoded: bytes) -> bytes:
+        """Transform one inserted record's payload before it is written.
+
+        The default keeps the in-memory encoding unchanged; the tuple
+        compactor returns the compacted form here.
+        """
+        return encoded
+
+    def process_antischema(self, antischema: Optional[Dict[str, Any]]) -> None:
+        """Handle the anti-schema carried by a delete/upsert entry."""
+
+    def end_flush(self) -> Tuple[bytes, Optional[InferredSchema]]:
+        """Called after the last entry; returns the schema blob to persist."""
+        return b"", None
+
+    def select_merge_schema(self, components: Sequence[OnDiskComponent]) -> Tuple[bytes, Optional[InferredSchema]]:
+        """Pick the schema persisted with a merged component.
+
+        The default persists nothing; the tuple compactor returns the most
+        recent component's schema (paper §3.1: merges never need to touch the
+        in-memory schema, so flushes and merges can proceed concurrently).
+        """
+        return b"", None
+
+    def on_component_deleted(self, component: OnDiskComponent) -> None:
+        """Called when a merged-away (or invalid) component is dropped."""

@@ -1,0 +1,555 @@
+"""The LSM B+-tree primary index (one per dataset partition).
+
+This is the storage engine the paper builds on (§2.2): writes go to an
+in-memory component; when it exceeds its memory budget the *tree manager*
+flushes it into an immutable on-disk component; on-disk components are
+periodically merged according to a merge policy; deletes insert anti-matter
+entries; upserts are a delete followed by an insert with the same key.
+
+The tuple compactor does not live here — it is attached as a
+:class:`~repro.lsm.lifecycle.FlushCallback`, so the index stays agnostic of
+record formats: it stores opaque payload bytes and returns them together
+with the schema snapshot of the component they came from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..btree import BTree, BulkLoader, LeafEntry
+from ..errors import ComponentStateError, DuplicateKeyError, KeyNotFoundError
+from ..schema import InferredSchema
+from ..storage.buffer_cache import BufferCache
+from ..storage.wal import LogRecordType, WriteAheadLog
+from .component import (
+    ComponentWriter,
+    InMemoryComponent,
+    MemEntry,
+    OnDiskComponent,
+    read_component_metadata,
+)
+from .component_id import ComponentId
+from .lifecycle import FlushCallback
+from .merge_policy import MergePolicy, NoMergePolicy
+
+
+@dataclass
+class SecondaryIndexDef:
+    """Definition of one secondary index over the primary index's records.
+
+    ``extractor`` receives the stored payload bytes and the component's
+    schema and returns the indexed value (or ``None`` to skip the record).
+    """
+
+    name: str
+    extractor: Callable[[bytes, Optional[InferredSchema]], Any]
+
+
+@dataclass
+class IngestStats:
+    """Counters describing one index's ingestion activity."""
+
+    inserts: int = 0
+    deletes: int = 0
+    upserts: int = 0
+    flushes: int = 0
+    merges: int = 0
+    maintenance_point_lookups: int = 0
+    bytes_flushed: int = 0
+    bytes_merged: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Payload returned by point lookups and scans."""
+
+    key: Any
+    payload: bytes
+    schema: Optional[InferredSchema]
+    from_memory: bool = False
+    record: Optional[Dict[str, Any]] = None  # set only for memtable hits
+
+
+class LSMBTree:
+    """LSM-tree of immutable B+-tree components plus one in-memory component."""
+
+    def __init__(self, name: str, partition: int, buffer_cache: BufferCache,
+                 memory_budget: int, merge_policy: Optional[MergePolicy] = None,
+                 flush_callback: Optional[FlushCallback] = None,
+                 wal: Optional[WriteAheadLog] = None,
+                 maintain_primary_key_index: bool = False,
+                 check_duplicate_keys: bool = False) -> None:
+        self.name = name
+        self.partition = partition
+        self.buffer_cache = buffer_cache
+        self.memory_budget = memory_budget
+        self.merge_policy = merge_policy or NoMergePolicy()
+        self.flush_callback = flush_callback or FlushCallback()
+        self.wal = wal
+        self.maintain_primary_key_index = maintain_primary_key_index
+        self.check_duplicate_keys = check_duplicate_keys
+
+        self.memory_component = InMemoryComponent()
+        #: On-disk components, newest first.
+        self.components: List[OnDiskComponent] = []
+        self.secondary_indexes: List[SecondaryIndexDef] = []
+        self.stats = IngestStats()
+        self._next_sequence = 0
+
+    # ------------------------------------------------------------------ naming
+
+    def _component_file(self, component_id: ComponentId) -> str:
+        return f"{self.name}_p{self.partition}_c{component_id.file_suffix}"
+
+    def file_prefix(self) -> str:
+        return f"{self.name}_p{self.partition}_c"
+
+    # ------------------------------------------------------------------ write path
+
+    def insert(self, key: Any, record: Dict[str, Any], encoded: bytes) -> None:
+        """Insert a new record (data feeds and loads; key assumed fresh)."""
+        if self.check_duplicate_keys and self._exists_anywhere(key):
+            raise DuplicateKeyError(f"primary key {key!r} already exists")
+        self._log(LogRecordType.INSERT, key, encoded)
+        self.memory_component.put(MemEntry(key, is_antimatter=False, record=record, encoded=encoded))
+        self.stats.inserts += 1
+        self._flush_if_full()
+
+    def delete(self, key: Any) -> None:
+        """Delete by key, inserting an anti-matter entry (paper §2.2, §3.2.2)."""
+        if self.flush_callback.needs_antischema:
+            antischema = self._antischema_for(key)
+            if antischema is _NOT_FOUND:
+                raise KeyNotFoundError(f"cannot delete unknown key {key!r}")
+        else:
+            antischema = None
+        self._log(LogRecordType.DELETE, key, b"")
+        self.memory_component.put(MemEntry(key, is_antimatter=True, antischema=antischema))
+        self.stats.deletes += 1
+        self._flush_if_full()
+
+    def upsert(self, key: Any, record: Dict[str, Any], encoded: bytes) -> None:
+        """Upsert = delete (if present) followed by an insert with the same key."""
+        if self.flush_callback.needs_antischema:
+            antischema = self._antischema_for(key)
+            if antischema is _NOT_FOUND:
+                antischema = None
+        else:
+            antischema = None
+        self._log(LogRecordType.UPSERT, key, encoded)
+        self.memory_component.put(
+            MemEntry(key, is_antimatter=False, record=record, encoded=encoded, antischema=antischema)
+        )
+        self.stats.upserts += 1
+        self._flush_if_full()
+
+    def _antischema_for(self, key: Any):
+        """Fetch the anti-schema of the record version ``key`` currently has.
+
+        Follows the paper's §3.2.2 maintenance protocol: a point lookup
+        retrieves the old record so its schema can be decremented during the
+        next flush.  The primary-key index, when maintained, answers the
+        common "key does not exist yet" case without touching the (larger)
+        primary components.
+        """
+        from ..schema import extract_antischema
+
+        memory_entry = self.memory_component.get(key)
+        if memory_entry is not None:
+            if memory_entry.is_antimatter:
+                return _NOT_FOUND
+            # The old version only ever lived in memory: it was never observed
+            # by the schema, so carry forward whatever it was itself carrying.
+            return memory_entry.antischema
+
+        if self.maintain_primary_key_index:
+            if not any(component.key_may_exist(key) for component in self.components):
+                return _NOT_FOUND
+        result = self._search_disk(key)
+        self.stats.maintenance_point_lookups += 1
+        if result is None:
+            return _NOT_FOUND
+        payload, component = result
+        record = self._decode_for_maintenance(payload, component)
+        return extract_antischema(record)
+
+    def _decode_for_maintenance(self, payload: bytes, component: OnDiskComponent) -> Dict[str, Any]:
+        """Decode a stored payload far enough to extract its anti-schema."""
+        decoder = getattr(self.flush_callback, "decode_record", None)
+        if decoder is not None:
+            return decoder(payload, component.schema)
+        raise ComponentStateError(
+            "this index stores opaque payloads; deletes/upserts need a flush callback "
+            "with a decode_record() method"
+        )
+
+    def _exists_anywhere(self, key: Any) -> bool:
+        entry = self.memory_component.get(key)
+        if entry is not None:
+            return not entry.is_antimatter
+        return self._search_disk(key) is not None
+
+    def _log(self, record_type: LogRecordType, key: Any, payload: bytes) -> None:
+        if self.wal is not None:
+            self.wal.append(record_type, self.name, self.partition, key=key, payload=payload)
+
+    def _flush_if_full(self) -> None:
+        if self.memory_component.size_bytes >= self.memory_budget:
+            self.flush()
+
+    # ------------------------------------------------------------------ flush
+
+    def flush(self, fail_before_footer: bool = False) -> Optional[OnDiskComponent]:
+        """Flush the in-memory component into a new on-disk component."""
+        if self.memory_component.is_empty:
+            return None
+        component_id = ComponentId.flushed(self._next_sequence)
+        callback = self.flush_callback
+        callback.begin_flush(component_id)
+
+        leaf_entries: List[LeafEntry] = []
+        for entry in self.memory_component.sorted_entries():
+            if entry.antischema is not None or entry.is_antimatter:
+                callback.process_antischema(entry.antischema)
+            if entry.is_antimatter:
+                leaf_entries.append(LeafEntry(entry.key, b"", is_antimatter=True))
+            else:
+                payload = callback.transform_record(entry.key, entry.record, entry.encoded)
+                leaf_entries.append(LeafEntry(entry.key, payload, is_antimatter=False))
+
+        schema_bytes, schema = callback.end_flush()
+        file_name = self._component_file(component_id)
+        if self.wal is not None:
+            self.wal.append(LogRecordType.FLUSH_START, self.name, self.partition)
+        writer = ComponentWriter(self.buffer_cache, file_name)
+        metadata = writer.write(component_id, leaf_entries, schema_bytes,
+                                fail_before_footer=fail_before_footer)
+        component = OnDiskComponent(component_id, file_name, self.buffer_cache, metadata,
+                                    schema=schema, valid=True)
+        self._build_auxiliary_indexes(component, leaf_entries)
+        self.components.insert(0, component)
+        self._next_sequence += 1
+        self.stats.flushes += 1
+        self.stats.bytes_flushed += component.size_bytes()
+
+        if self.wal is not None:
+            last_lsn = self.wal.last_lsn
+            self.wal.append(LogRecordType.FLUSH_END, self.name, self.partition)
+            self.wal.truncate(last_lsn)
+        self.memory_component.clear()
+        self.maybe_merge()
+        return component
+
+    # ------------------------------------------------------------------ bulk load
+
+    def load(self, rows: Sequence[Tuple[Any, Dict[str, Any], bytes]]) -> Optional[OnDiskComponent]:
+        """Bulk-load pre-encoded records into a single on-disk component.
+
+        This is AsterixDB's LOAD path (paper §4.3): the rows are sorted by
+        primary key, the B+-tree is built bottom-up in one pass, and the
+        tuple compactor infers the schema and compacts records during that
+        pass, leaving one component with one schema.  The WAL is not
+        involved (loads are not logged in AsterixDB either).
+        """
+        if not self.memory_component.is_empty or self.components:
+            raise ComponentStateError("bulk load requires an empty index")
+        if not rows:
+            return None
+        ordered = sorted(rows, key=lambda row: row[0])
+        component_id = ComponentId.flushed(self._next_sequence)
+        callback = self.flush_callback
+        callback.begin_flush(component_id)
+        leaf_entries = []
+        previous_key = object()
+        for key, record, encoded in ordered:
+            if key == previous_key:
+                raise DuplicateKeyError(f"bulk load saw duplicate primary key {key!r}")
+            previous_key = key
+            payload = callback.transform_record(key, record, encoded)
+            leaf_entries.append(LeafEntry(key, payload, is_antimatter=False))
+        schema_bytes, schema = callback.end_flush()
+        file_name = self._component_file(component_id)
+        metadata = ComponentWriter(self.buffer_cache, file_name).write(
+            component_id, leaf_entries, schema_bytes)
+        component = OnDiskComponent(component_id, file_name, self.buffer_cache, metadata,
+                                    schema=schema, valid=True)
+        self._build_auxiliary_indexes(component, leaf_entries)
+        self.components.insert(0, component)
+        self._next_sequence += 1
+        self.stats.inserts += len(leaf_entries)
+        self.stats.flushes += 1
+        self.stats.bytes_flushed += component.size_bytes()
+        return component
+
+    # ------------------------------------------------------------------ merge
+
+    def maybe_merge(self) -> Optional[OnDiskComponent]:
+        """Ask the merge policy whether to merge; perform the merge if so."""
+        selected = self.merge_policy.select_merge(self.components)
+        if len(selected) < 2:
+            return None
+        return self.merge(selected)
+
+    def merge(self, selected: Sequence[OnDiskComponent]) -> OnDiskComponent:
+        """Merge ``selected`` (contiguous, newest first) into one component."""
+        selected = list(selected)
+        selected_ids = {id(component) for component in selected}
+        for component in selected:
+            if not component.valid:
+                raise ComponentStateError("cannot merge an INVALID component")
+        merged_id = ComponentId.merged([component.component_id for component in selected])
+        # Anti-matter entries may only be garbage-collected when nothing older
+        # than the merged range remains (otherwise they must keep shadowing).
+        oldest_selected = min(component.component_id for component in selected)
+        has_older_left = any(
+            component.component_id < oldest_selected and id(component) not in selected_ids
+            for component in self.components
+        )
+        entries = list(self._merge_entries(selected, drop_antimatter=not has_older_left))
+
+        schema_bytes, schema = self.flush_callback.select_merge_schema(selected)
+        file_name = self._component_file(merged_id)
+        writer = ComponentWriter(self.buffer_cache, file_name)
+        metadata = writer.write(merged_id, entries, schema_bytes)
+        merged = OnDiskComponent(merged_id, file_name, self.buffer_cache, metadata,
+                                 schema=schema, valid=True)
+        self._build_auxiliary_indexes(merged, entries)
+
+        position = self.components.index(selected[0])
+        for component in selected:
+            self.components.remove(component)
+        self.components.insert(position, merged)
+        for component in selected:
+            self._drop_component(component)
+        self.stats.merges += 1
+        self.stats.bytes_merged += merged.size_bytes()
+        return merged
+
+    def _merge_entries(self, selected: Sequence[OnDiskComponent],
+                       drop_antimatter: bool) -> Iterator[LeafEntry]:
+        """K-way merge of the selected components' leaf entries.
+
+        For duplicate keys the entry from the most recent component wins; a
+        winning anti-matter entry annihilates the older record and is itself
+        dropped when ``drop_antimatter`` is true (paper Figure 4b).
+        """
+        # heap items: (key, recency_rank, sequence, entry) — rank 0 is newest.
+        iterators = []
+        for rank, component in enumerate(selected):
+            iterators.append((rank, component.scan()))
+        heap: List[Tuple[Any, int, int, LeafEntry]] = []
+        sequence = 0
+        for rank, iterator in iterators:
+            entry = next(iterator, None)
+            if entry is not None:
+                heap.append((entry.key, rank, sequence, entry))
+                sequence += 1
+        heapq.heapify(heap)
+        advance: Dict[int, Iterator[LeafEntry]] = {rank: iterator for rank, iterator in iterators}
+
+        current_key = object()
+        winner: Optional[LeafEntry] = None
+        winner_rank = None
+        while heap:
+            key, rank, _, entry = heapq.heappop(heap)
+            following = next(advance[rank], None)
+            if following is not None:
+                heapq.heappush(heap, (following.key, rank, sequence, following))
+                sequence += 1
+            if key != current_key:
+                if winner is not None:
+                    if not (winner.is_antimatter and drop_antimatter):
+                        yield winner
+                current_key = key
+                winner = entry
+                winner_rank = rank
+            elif rank < winner_rank:
+                winner = entry
+                winner_rank = rank
+        if winner is not None and not (winner.is_antimatter and drop_antimatter):
+            yield winner
+
+    def _drop_component(self, component: OnDiskComponent) -> None:
+        component.valid = False
+        self.flush_callback.on_component_deleted(component)
+        manager = self.buffer_cache.file_manager
+        self.buffer_cache.invalidate_file(component.file_name)
+        manager.delete_file(component.file_name)
+        if component.primary_key_file is not None:
+            manager.delete_file(component.primary_key_file)
+        for file_name in getattr(component, "secondary_files", {}).values():
+            manager.delete_file(file_name)
+
+    # ------------------------------------------------------------------ auxiliary indexes
+
+    def add_secondary_index(self, definition: SecondaryIndexDef) -> None:
+        """Register a secondary index (must be added before any flush)."""
+        if self.components:
+            raise ComponentStateError("secondary indexes must be created before data is flushed")
+        self.secondary_indexes.append(definition)
+
+    def _build_auxiliary_indexes(self, component: OnDiskComponent,
+                                 entries: Sequence[LeafEntry]) -> None:
+        """Build the per-component primary-key and secondary index B+-trees.
+
+        Auxiliary trees are written through :class:`ComponentWriter` too so
+        that they carry their own footer/metadata and can be re-opened during
+        crash recovery without rebuilding them.
+        """
+        if self.maintain_primary_key_index:
+            pk_file = component.file_name + ".pk"
+            pk_entries = [LeafEntry(entry.key, b"", entry.is_antimatter) for entry in entries]
+            metadata = ComponentWriter(self.buffer_cache, pk_file).write(
+                component.component_id, pk_entries)
+            component.primary_key_file = pk_file
+            component.primary_key_index = BTree(self.buffer_cache, pk_file, metadata.btree_info)
+        if self.secondary_indexes:
+            component.secondary_files = {}
+            component.secondary_trees = {}
+            for definition in self.secondary_indexes:
+                keyed = []
+                for entry in entries:
+                    if entry.is_antimatter:
+                        continue
+                    value = definition.extractor(entry.value, component.schema)
+                    if value is None:
+                        continue
+                    keyed.append(((value, entry.key), entry.key))
+                keyed.sort(key=lambda pair: pair[0])
+                ix_file = f"{component.file_name}.ix.{definition.name}"
+                ix_entries = [LeafEntry(key, _encode_primary_ref(primary))
+                              for key, primary in keyed]
+                metadata = ComponentWriter(self.buffer_cache, ix_file).write(
+                    component.component_id, ix_entries)
+                component.secondary_files[definition.name] = ix_file
+                component.secondary_trees[definition.name] = BTree(
+                    self.buffer_cache, ix_file, metadata.btree_info)
+
+    def secondary_range_lookup(self, index_name: str, low: Any, high: Any) -> List[Any]:
+        """Primary keys whose indexed value lies in ``[low, high]``."""
+        keys: List[Any] = []
+        for component in self.components:
+            tree = getattr(component, "secondary_trees", {}).get(index_name)
+            if tree is None:
+                continue
+            # The composite keys are (value, primary_key); a 1-tuple lower
+            # bound compares below every composite sharing the same value.
+            low_key = (low,) if low is not None else None
+            for entry in tree.range_scan(low_key, None):
+                value, primary_key = entry.key
+                if high is not None and value > high:
+                    break
+                keys.append(primary_key)
+        return keys
+
+    # ------------------------------------------------------------------ read path
+
+    def search(self, key: Any) -> Optional[SearchResult]:
+        """Point lookup: memtable first, then components newest to oldest."""
+        entry = self.memory_component.get(key)
+        if entry is not None:
+            if entry.is_antimatter:
+                return None
+            return SearchResult(key, entry.encoded, self.current_schema(), from_memory=True,
+                                record=entry.record)
+        disk = self._search_disk(key)
+        if disk is None:
+            return None
+        payload, component = disk
+        return SearchResult(key, payload, component.schema)
+
+    def _search_disk(self, key: Any) -> Optional[Tuple[bytes, OnDiskComponent]]:
+        for component in self.components:
+            found = component.search(key)
+            if found is None:
+                continue
+            if found.is_antimatter:
+                return None
+            return found.value, component
+        return None
+
+    def scan(self) -> Iterator[SearchResult]:
+        """Full scan in key order, reconciling duplicates by recency."""
+        # Sources: memtable (rank -1, most recent), then components by recency.
+        sources: List[Tuple[int, Iterator[Tuple[Any, bool, bytes, Optional[Dict[str, Any]], Optional[InferredSchema]]]]] = []
+
+        def memory_iterator():
+            for entry in self.memory_component.sorted_entries():
+                yield entry.key, entry.is_antimatter, entry.encoded, entry.record, self.current_schema()
+
+        def component_iterator(component: OnDiskComponent):
+            for entry in component.scan():
+                yield entry.key, entry.is_antimatter, entry.value, None, component.schema
+
+        sources.append((-1, memory_iterator()))
+        for rank, component in enumerate(self.components):
+            sources.append((rank, component_iterator(component)))
+
+        heap: List[Tuple[Any, int, int, Tuple]] = []
+        sequence = 0
+        iterators = {}
+        for rank, iterator in sources:
+            iterators[rank] = iterator
+            item = next(iterator, None)
+            if item is not None:
+                heap.append((item[0], rank, sequence, item))
+                sequence += 1
+        heapq.heapify(heap)
+
+        current_key = object()
+        best_rank = None
+        best_item = None
+        while heap:
+            key, rank, _, item = heapq.heappop(heap)
+            following = next(iterators[rank], None)
+            if following is not None:
+                heapq.heappush(heap, (following[0], rank, sequence, following))
+                sequence += 1
+            if key != current_key:
+                if best_item is not None and not best_item[1]:
+                    yield SearchResult(best_item[0], best_item[2], best_item[4],
+                                       from_memory=best_rank == -1, record=best_item[3])
+                current_key = key
+                best_rank = rank
+                best_item = item
+            elif rank < best_rank:
+                best_rank = rank
+                best_item = item
+        if best_item is not None and not best_item[1]:
+            yield SearchResult(best_item[0], best_item[2], best_item[4],
+                               from_memory=best_rank == -1, record=best_item[3])
+
+    # ------------------------------------------------------------------ inspection
+
+    def current_schema(self) -> Optional[InferredSchema]:
+        """Schema exposed by the flush callback (None for pass-through datasets)."""
+        return getattr(self.flush_callback, "schema", None)
+
+    def storage_size(self) -> int:
+        """Total on-disk bytes of all valid components and auxiliary indexes."""
+        return sum(component.size_bytes() for component in self.components)
+
+    def component_count(self) -> int:
+        return len(self.components)
+
+    def record_count(self) -> int:
+        """Live records across disk components and the memtable (approximate:
+        exact when keys are not duplicated across components)."""
+        disk = sum(component.record_count for component in self.components)
+        memory = sum(1 for entry in self.memory_component.iter_entries() if not entry.is_antimatter)
+        return disk + memory
+
+    def exact_count(self) -> int:
+        """Exact number of live records (reconciles shadowed/deleted keys)."""
+        return sum(1 for _ in self.scan())
+
+
+_NOT_FOUND = object()
+
+
+def _encode_primary_ref(primary_key: Any) -> bytes:
+    from ..btree.keycodec import encode_key
+
+    return encode_key(primary_key)

@@ -1,0 +1,51 @@
+"""Partitioned query engine: expressions, operators, optimizer, executor."""
+
+from .aggregates import get_aggregate
+from .executor import ExecutionStats, QueryExecutor, QueryResult
+from .expressions import (
+    And,
+    Arithmetic,
+    Comparison,
+    Exists,
+    Expr,
+    FieldAccess,
+    Func,
+    Literal,
+    Not,
+    Or,
+    Var,
+    field,
+    lit,
+    register_function,
+)
+from .optimizer import AccessPlan, Optimizer
+from .plan import AggregateSpec, OrderKey, QueryBuilder, QuerySpec, UnnestClause, scan
+
+__all__ = [
+    "QueryExecutor",
+    "QueryResult",
+    "ExecutionStats",
+    "Optimizer",
+    "AccessPlan",
+    "QueryBuilder",
+    "QuerySpec",
+    "UnnestClause",
+    "AggregateSpec",
+    "OrderKey",
+    "scan",
+    "Expr",
+    "Var",
+    "Literal",
+    "FieldAccess",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Arithmetic",
+    "Func",
+    "Exists",
+    "field",
+    "lit",
+    "register_function",
+    "get_aggregate",
+]

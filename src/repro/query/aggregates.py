@@ -1,0 +1,175 @@
+"""Aggregate functions with partial (per-partition) aggregation support.
+
+Queries in the paper repartition data for parallel aggregation (paper
+Figure 5: per-partition sort/group operators feeding a hash exchange).  The
+executor therefore computes *partial* aggregates per partition and merges
+them at the coordinator, which is why every aggregate here exposes the
+``create / accumulate / merge / finalize`` quartet instead of a single
+fold function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import QueryError
+from ..types import MISSING, Missing
+
+
+def _present(value: Any) -> bool:
+    return value is not None and not isinstance(value, Missing)
+
+
+class Aggregate:
+    """Base class of all aggregate functions."""
+
+    name = "abstract"
+    #: Whether the aggregate needs an input expression (COUNT(*) does not).
+    needs_input = True
+
+    def create(self) -> Any:
+        raise NotImplementedError
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, state: Any, other: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """``COUNT(*)`` / ``COUNT(expr)`` (rows where the expression is present)."""
+
+    name = "count"
+    needs_input = False
+
+    def create(self) -> int:
+        return 0
+
+    def accumulate(self, state: int, value: Any = True) -> int:
+        return state + (1 if _present(value) else 0)
+
+    def merge(self, state: int, other: int) -> int:
+        return state + other
+
+    def finalize(self, state: int) -> int:
+        return state
+
+
+class SumAggregate(Aggregate):
+    name = "sum"
+
+    def create(self):
+        return None
+
+    def accumulate(self, state, value):
+        if not _present(value):
+            return state
+        return value if state is None else state + value
+
+    def merge(self, state, other):
+        if other is None:
+            return state
+        return other if state is None else state + other
+
+    def finalize(self, state):
+        return state
+
+
+class MinAggregate(Aggregate):
+    name = "min"
+
+    def create(self):
+        return None
+
+    def accumulate(self, state, value):
+        if not _present(value):
+            return state
+        return value if state is None else min(state, value)
+
+    def merge(self, state, other):
+        return self.accumulate(state, other)
+
+    def finalize(self, state):
+        return state
+
+
+class MaxAggregate(Aggregate):
+    name = "max"
+
+    def create(self):
+        return None
+
+    def accumulate(self, state, value):
+        if not _present(value):
+            return state
+        return value if state is None else max(state, value)
+
+    def merge(self, state, other):
+        return self.accumulate(state, other)
+
+    def finalize(self, state):
+        return state
+
+
+class AvgAggregate(Aggregate):
+    """AVG as a mergeable (sum, count) pair."""
+
+    name = "avg"
+
+    def create(self):
+        return (0.0, 0)
+
+    def accumulate(self, state, value):
+        if not _present(value):
+            return state
+        total, count = state
+        return (total + value, count + 1)
+
+    def merge(self, state, other):
+        return (state[0] + other[0], state[1] + other[1])
+
+    def finalize(self, state):
+        total, count = state
+        if count == 0:
+            return None
+        return total / count
+
+
+class ListifyAggregate(Aggregate):
+    """``GROUP AS`` / ``listify``: collect the group's values into a list."""
+
+    name = "listify"
+
+    def create(self) -> List[Any]:
+        return []
+
+    def accumulate(self, state: List[Any], value: Any) -> List[Any]:
+        if _present(value):
+            state.append(value)
+        return state
+
+    def merge(self, state: List[Any], other: List[Any]) -> List[Any]:
+        state.extend(other)
+        return state
+
+    def finalize(self, state: List[Any]) -> List[Any]:
+        return state
+
+
+_REGISTRY: Dict[str, Aggregate] = {
+    aggregate.name: aggregate for aggregate in (
+        CountAggregate(), SumAggregate(), MinAggregate(), MaxAggregate(),
+        AvgAggregate(), ListifyAggregate(),
+    )
+}
+
+
+def get_aggregate(name: str) -> Aggregate:
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise QueryError(f"unknown aggregate function {name!r}") from exc

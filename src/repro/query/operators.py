@@ -1,0 +1,256 @@
+"""Physical operators: iterator-based, one pipeline per partition.
+
+A compiled job (paper Figure 5) is a chain of operators per partition —
+scan, assign/let, unnest, select, project, pre-aggregation — connected to a
+coordinator stage through an exchange.  Each operator here is a Python
+iterator of *environments* (dicts mapping variable names to values/views),
+which keeps the pipeline lazy: a LIMIT without ORDER BY, for example, stops
+scanning as soon as it is satisfied.
+
+The scan operator is where the paper's field-access consolidation happens:
+when the access plan says so, it calls ``get_values()`` once per record and
+publishes the extracted values in the environment for the expression
+evaluator to pick up (see :mod:`repro.query.expressions`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..types import AMultiset, MISSING, Missing
+from .aggregates import get_aggregate
+from .expressions import EXTRACTED, Expr, is_absent
+from .optimizer import AccessPlan, UnnestAccessPlan
+from .plan import AggregateSpec, LetClause, QuerySpec
+
+Environment = Dict[str, Any]
+
+
+class ScanOperator:
+    """Data-source scan over one partition, yielding one environment per record."""
+
+    def __init__(self, partition, record_var: str, access_plan: AccessPlan) -> None:
+        self.partition = partition
+        self.record_var = record_var
+        self.access_plan = access_plan
+        self.records_scanned = 0
+
+    def __iter__(self) -> Iterator[Environment]:
+        consolidate = self.access_plan.consolidate and self.access_plan.scan_paths
+        paths = self.access_plan.scan_paths
+        for view in self.partition.scan_views():
+            self.records_scanned += 1
+            env: Environment = {self.record_var: view}
+            if consolidate:
+                values = view.get_values(*paths)
+                env[EXTRACTED] = {(self.record_var, path): value
+                                  for path, value in zip(paths, values)}
+            yield env
+
+
+class LetOperator:
+    """Evaluates LET clauses, adding computed bindings to each environment."""
+
+    def __init__(self, child: Iterator[Environment], lets: Sequence[LetClause]) -> None:
+        self.child = child
+        self.lets = lets
+
+    def __iter__(self) -> Iterator[Environment]:
+        for env in self.child:
+            for clause in self.lets:
+                env[clause.name] = clause.expr.evaluate(env)
+            yield env
+
+
+class UnnestOperator:
+    """UNNEST a collection, producing one environment per item.
+
+    With access pushdown (paper §3.4.2) the operator iterates the extracted
+    scalar lists instead of materializing the item objects; the item variable
+    is still bound (to MISSING) so that stray uses fail loudly rather than
+    silently reading stale data.
+    """
+
+    def __init__(self, child: Iterator[Environment], plan: UnnestAccessPlan,
+                 record_var: str) -> None:
+        self.child = child
+        self.plan = plan
+        self.record_var = record_var
+
+    def __iter__(self) -> Iterator[Environment]:
+        clause = self.plan.clause
+        for env in self.child:
+            if self.plan.pushed_down:
+                yield from self._iterate_pushed_down(env)
+                continue
+            collection = clause.collection.evaluate(env)
+            items = self._items(collection)
+            for item in items:
+                item_env = dict(env)
+                item_env[clause.item_var] = item
+                yield item_env
+
+    def _iterate_pushed_down(self, env: Environment) -> Iterator[Environment]:
+        clause = self.plan.clause
+        extracted = env.get(EXTRACTED, {})
+        columns: Dict[Tuple[Any, ...], List[Any]] = {}
+        length = 0
+        for item_path, full_path in self.plan.pushdown_paths.items():
+            values = extracted.get((self.record_var, full_path), [])
+            if not isinstance(values, list):
+                values = []
+            columns[item_path] = values
+            length = max(length, len(values))
+        for index in range(length):
+            item_env = dict(env)
+            item_extracted = dict(extracted)
+            for item_path, values in columns.items():
+                value = values[index] if index < len(values) else MISSING
+                item_extracted[(clause.item_var, item_path)] = value
+            item_env[EXTRACTED] = item_extracted
+            item_env[clause.item_var] = MISSING
+            yield item_env
+
+    @staticmethod
+    def _items(collection: Any) -> List[Any]:
+        if isinstance(collection, AMultiset):
+            return list(collection.items)
+        if isinstance(collection, (list, tuple)):
+            return list(collection)
+        if is_absent(collection):
+            return []
+        return [collection]
+
+
+class SelectOperator:
+    """WHERE filter."""
+
+    def __init__(self, child: Iterator[Environment], predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Environment]:
+        for env in self.child:
+            value = self.predicate.evaluate(env)
+            if not is_absent(value) and value:
+                yield env
+
+
+class ProjectOperator:
+    """SELECT projections (non-grouped queries)."""
+
+    def __init__(self, child: Iterator[Environment], projections: Sequence[Tuple[str, Expr]]) -> None:
+        self.child = child
+        self.projections = projections
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        for env in self.child:
+            row = {}
+            for name, expr in self.projections:
+                value = expr.evaluate(env)
+                if hasattr(value, "materialize"):
+                    value = value.materialize()
+                row[name] = value
+            yield row
+
+
+class PartialGroupByOperator:
+    """Per-partition hash aggregation producing mergeable partial states.
+
+    This is the local half of the parallel aggregation in paper Figure 5;
+    the coordinator merges partials that arrive over the (conceptual)
+    hash-partition exchange.
+    """
+
+    def __init__(self, child: Iterator[Environment], group_keys: Sequence[Tuple[str, Expr]],
+                 aggregates: Sequence[AggregateSpec]) -> None:
+        self.child = child
+        self.group_keys = group_keys
+        self.aggregates = aggregates
+
+    def run(self) -> Dict[Tuple[Any, ...], List[Any]]:
+        functions = [get_aggregate(spec.function) for spec in self.aggregates]
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        for env in self.child:
+            key = tuple(expr.evaluate(env) for _, expr in self.group_keys)
+            if any(isinstance(part, Missing) for part in key):
+                continue
+            key = tuple(_hashable(part) for part in key)
+            states = groups.get(key)
+            if states is None:
+                states = [function.create() for function in functions]
+                groups[key] = states
+            for index, (function, spec) in enumerate(zip(functions, self.aggregates)):
+                value = spec.argument.evaluate(env) if spec.argument is not None else True
+                states[index] = function.accumulate(states[index], value)
+        return groups
+
+
+def merge_partials(partials: Sequence[Dict[Tuple[Any, ...], List[Any]]],
+                   aggregates: Sequence[AggregateSpec]) -> Dict[Tuple[Any, ...], List[Any]]:
+    """Coordinator-side merge of per-partition partial aggregation states."""
+    functions = [get_aggregate(spec.function) for spec in aggregates]
+    merged: Dict[Tuple[Any, ...], List[Any]] = {}
+    for partial in partials:
+        for key, states in partial.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = list(states)
+            else:
+                merged[key] = [function.merge(current, incoming)
+                               for function, current, incoming in zip(functions, existing, states)]
+    return merged
+
+
+def finalize_groups(groups: Dict[Tuple[Any, ...], List[Any]], spec: QuerySpec) -> List[Dict[str, Any]]:
+    """Turn merged group states into output rows."""
+    functions = [get_aggregate(aggregate.function) for aggregate in spec.aggregates]
+    rows = []
+    for key, states in groups.items():
+        row: Dict[str, Any] = {}
+        for (name, _), part in zip(spec.group_keys, key):
+            row[name] = part
+        for aggregate, function, state in zip(spec.aggregates, functions, states):
+            row[aggregate.output] = function.finalize(state)
+        rows.append(row)
+    return rows
+
+
+def order_and_limit(rows: List[Dict[str, Any]], spec: QuerySpec) -> List[Dict[str, Any]]:
+    """Apply ORDER BY (on output columns or expressions over rows) and LIMIT."""
+    ordered = rows
+    for key in reversed(spec.order_by):
+        if isinstance(key.expr_or_column, str):
+            column = key.expr_or_column
+
+            def sort_key(row, column=column):
+                value = row.get(column)
+                return (is_absent(value), _orderable(value))
+        else:
+            expr = key.expr_or_column
+
+            def sort_key(row, expr=expr):
+                value = expr.evaluate(row)
+                return (is_absent(value), _orderable(value))
+        ordered = sorted(ordered, key=sort_key, reverse=key.descending)
+    if spec.limit is not None:
+        ordered = ordered[:spec.limit]
+    return ordered
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _hashable(item)) for key, item in value.items()))
+    if isinstance(value, AMultiset):
+        return tuple(sorted((repr(item) for item in value.items)))
+    return value
+
+
+def _orderable(value: Any) -> Any:
+    if is_absent(value):
+        return 0
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    return str(value)

@@ -1,0 +1,231 @@
+"""Optimizer rewrites for querying vector-based (compacted) records.
+
+Field access in the vector-based format is a linear scan over a record's
+vectors (paper §3.3.1), so a query with several field accesses would scan
+every record several times.  The paper adds one rewrite rule to Algebricks
+(§3.4.2): consolidate a query's field-access expressions into a single
+``getValues()`` call evaluated once per record, and push that call through
+UNNEST and EXISTS so that only the requested nested scalars — not whole
+nested objects — flow through the rest of the plan.
+
+:class:`Optimizer` implements both rewrites and produces an
+:class:`AccessPlan` the scan/unnest operators consult at runtime:
+
+* ``scan_paths`` — every path rooted at the scan variable, extracted once
+  per record with one ``get_values()`` call;
+* ``unnest_plans`` — for each UNNEST whose downstream uses are all scalar
+  paths on the item variable, the wildcard paths to extract instead of the
+  item objects (paper: "extract only the hashtag text instead of the
+  hashtag objects");
+* rewritten EXISTS predicates that iterate extracted scalars.
+
+Both rewrites can be disabled (``consolidate=False``) to reproduce the
+paper's *Inferred (un-op)* ablation (Figure 23); the ADM-format datasets are
+never rewritten because their field accesses are offset-guided and already
+position-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .expressions import (
+    And,
+    Arithmetic,
+    Comparison,
+    Exists,
+    Expr,
+    FieldAccess,
+    Func,
+    Literal,
+    Not,
+    Or,
+    Var,
+)
+from .plan import QuerySpec, UnnestClause
+
+Path = Tuple[Any, ...]
+
+
+@dataclass
+class UnnestAccessPlan:
+    """How one UNNEST clause is executed."""
+
+    clause: UnnestClause
+    #: Path (on the scan variable) of the unnested collection, when direct.
+    collection_path: Optional[Path] = None
+    #: Pushed-down item paths: item-var path -> full wildcard path on the scan var.
+    pushdown_paths: Dict[Path, Path] = field(default_factory=dict)
+
+    @property
+    def pushed_down(self) -> bool:
+        return bool(self.pushdown_paths)
+
+
+@dataclass
+class AccessPlan:
+    """Everything the runtime needs to know about field-access strategy."""
+
+    consolidate: bool
+    scan_paths: List[Path] = field(default_factory=list)
+    unnest_plans: List[UnnestAccessPlan] = field(default_factory=list)
+    rewritten_spec: Optional[QuerySpec] = None
+
+    def effective_spec(self, original: QuerySpec) -> QuerySpec:
+        return self.rewritten_spec if self.rewritten_spec is not None else original
+
+
+class Optimizer:
+    """Builds an :class:`AccessPlan` for a query over one dataset."""
+
+    def __init__(self, consolidate_field_access: bool = True,
+                 pushdown_through_unnest: bool = True) -> None:
+        self.consolidate_field_access = consolidate_field_access
+        self.pushdown_through_unnest = pushdown_through_unnest
+
+    def plan(self, spec: QuerySpec, uses_vector_format: bool) -> AccessPlan:
+        """Produce the access plan; non-vector formats use plain access."""
+        if not uses_vector_format or not self.consolidate_field_access:
+            return AccessPlan(consolidate=False,
+                              unnest_plans=[UnnestAccessPlan(clause) for clause in spec.unnests])
+
+        record_var = spec.record_var
+        rewritten = spec
+        if self.pushdown_through_unnest:
+            rewritten = self._rewrite_exists(spec, record_var)
+
+        scan_paths: Set[Path] = set()
+        for expr in self._expressions(rewritten):
+            for node in expr.walk():
+                if isinstance(node, FieldAccess) and node.source == record_var:
+                    scan_paths.add(node.path)
+
+        unnest_plans: List[UnnestAccessPlan] = []
+        for clause in rewritten.unnests:
+            plan = UnnestAccessPlan(clause)
+            collection = clause.collection
+            if isinstance(collection, FieldAccess) and collection.source == record_var:
+                plan.collection_path = collection.path
+            if (self.pushdown_through_unnest and plan.collection_path is not None
+                    and self._can_push_down(rewritten, clause)):
+                item_paths = self._item_paths(rewritten, clause.item_var)
+                for item_path in item_paths:
+                    full = plan.collection_path + ("*",) + item_path
+                    plan.pushdown_paths[item_path] = full
+                    scan_paths.add(full)
+                # The collection objects themselves no longer need extracting.
+                scan_paths.discard(plan.collection_path)
+            unnest_plans.append(plan)
+
+        return AccessPlan(
+            consolidate=True,
+            scan_paths=sorted(scan_paths, key=lambda path: (len(path), tuple(map(str, path)))),
+            unnest_plans=unnest_plans,
+            rewritten_spec=rewritten if rewritten is not spec else None,
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _expressions(spec: QuerySpec) -> List[Expr]:
+        expressions: List[Expr] = []
+        expressions.extend(clause.expr for clause in spec.lets)
+        expressions.extend(clause.collection for clause in spec.unnests)
+        if spec.where is not None:
+            expressions.append(spec.where)
+        expressions.extend(expr for _, expr in spec.group_keys)
+        expressions.extend(agg.argument for agg in spec.aggregates if agg.argument is not None)
+        expressions.extend(expr for _, expr in spec.projections)
+        expressions.extend(key.expr_or_column for key in spec.order_by
+                           if isinstance(key.expr_or_column, Expr))
+        return expressions
+
+    def _can_push_down(self, spec: QuerySpec, clause: UnnestClause) -> bool:
+        """Pushdown is legal when every use of the item var is a scalar path."""
+        item_var = clause.item_var
+        for expr in self._expressions(spec):
+            for node in expr.walk():
+                if isinstance(node, Var) and node.name == item_var:
+                    return False
+                if isinstance(node, FieldAccess) and node.source == item_var and not node.path:
+                    return False
+                if isinstance(node, Exists):
+                    # an Exists iterating the same item var re-binds it; skip pushdown
+                    if node.item_var == item_var:
+                        return False
+        return self._item_paths(spec, item_var) != set()
+
+    def _item_paths(self, spec: QuerySpec, item_var: str) -> Set[Path]:
+        paths: Set[Path] = set()
+        for expr in self._expressions(spec):
+            for node in expr.walk():
+                if isinstance(node, FieldAccess) and node.source == item_var and node.path:
+                    paths.add(node.path)
+        return paths
+
+    # ------------------------------------------------------------------ EXISTS rewrite
+
+    def _rewrite_exists(self, spec: QuerySpec, record_var: str) -> QuerySpec:
+        """Push consolidated access through EXISTS quantifiers (Twitter Q3).
+
+        ``SOME ht IN t.entities.hashtags SATISFIES f(ht.text)`` becomes
+        ``SOME ht IN t.entities.hashtags[*].text SATISFIES f(ht)`` so the
+        consolidated scan extracts only the hashtag texts.
+        """
+        if spec.where is None:
+            return spec
+        new_where = _rewrite_expr(spec.where, record_var)
+        if new_where is spec.where:
+            return spec
+        from dataclasses import replace
+
+        return replace(spec, where=new_where)
+
+
+def _rewrite_expr(expr: Expr, record_var: str) -> Expr:
+    """Recursively rewrite EXISTS nodes that qualify for pushdown."""
+    if isinstance(expr, Exists):
+        collection, item_var, predicate = expr.collection, expr.item_var, expr.predicate
+        if isinstance(collection, FieldAccess) and collection.source == record_var:
+            item_paths = {
+                node.path for node in predicate.walk()
+                if isinstance(node, FieldAccess) and node.source == item_var
+            }
+            direct_uses = any(isinstance(node, Var) and node.name == item_var
+                              for node in predicate.walk())
+            if len(item_paths) == 1 and not direct_uses:
+                (item_path,) = item_paths
+                new_collection = FieldAccess(record_var, collection.path + ("*",) + item_path)
+                new_predicate = _substitute_access(predicate, item_var, item_path)
+                return Exists(new_collection, item_var, new_predicate)
+        return expr
+    if isinstance(expr, And):
+        return And(*[_rewrite_expr(operand, record_var) for operand in expr.operands])
+    if isinstance(expr, Or):
+        return Or(*[_rewrite_expr(operand, record_var) for operand in expr.operands])
+    if isinstance(expr, Not):
+        return Not(_rewrite_expr(expr.operand, record_var))
+    return expr
+
+
+def _substitute_access(expr: Expr, item_var: str, item_path: Path) -> Expr:
+    """Replace ``FieldAccess(item_var, item_path)`` with ``Var(item_var)``."""
+    if isinstance(expr, FieldAccess) and expr.source == item_var and expr.path == item_path:
+        return Var(item_var)
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, _substitute_access(expr.left, item_var, item_path),
+                          _substitute_access(expr.right, item_var, item_path))
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(expr.op, _substitute_access(expr.left, item_var, item_path),
+                          _substitute_access(expr.right, item_var, item_path))
+    if isinstance(expr, And):
+        return And(*[_substitute_access(operand, item_var, item_path) for operand in expr.operands])
+    if isinstance(expr, Or):
+        return Or(*[_substitute_access(operand, item_var, item_path) for operand in expr.operands])
+    if isinstance(expr, Not):
+        return Not(_substitute_access(expr.operand, item_var, item_path))
+    if isinstance(expr, Func):
+        return Func(expr.name, *[_substitute_access(argument, item_var, item_path)
+                                 for argument in expr.args])
+    return expr

@@ -1,0 +1,28 @@
+"""Schema inference and maintenance (the tuple compactor's schema structure)."""
+
+from .dictionary import FieldNameDictionary
+from .nodes import (
+    CollectionNode,
+    ObjectNode,
+    ScalarNode,
+    SchemaNode,
+    UnionNode,
+    leaf_paths,
+    nodes_equal,
+)
+from .schema import InferredSchema
+from .antischema import antischema_size_estimate, extract_antischema
+
+__all__ = [
+    "FieldNameDictionary",
+    "SchemaNode",
+    "ScalarNode",
+    "ObjectNode",
+    "CollectionNode",
+    "UnionNode",
+    "nodes_equal",
+    "leaf_paths",
+    "InferredSchema",
+    "extract_antischema",
+    "antischema_size_estimate",
+]

@@ -1,0 +1,107 @@
+"""Dictionary-encoding of inferred field names (paper §3.2.1, Figure 10c).
+
+Children of *different* object nodes may share a field name (``name`` in
+the paper's example appears both at the root and inside ``dependents``
+items), so the schema structure canonicalizes names into integer
+``FieldNameID``\\ s through this dictionary.  IDs start at 1; ID 0 is
+reserved so that compacted records can use 0-valued entries for control
+purposes and so an "unknown" sentinel never collides with a real name.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SchemaError
+
+_U32 = struct.Struct("<I")
+
+
+class FieldNameDictionary:
+    """Bidirectional field-name <-> FieldNameID mapping."""
+
+    def __init__(self) -> None:
+        self._name_to_id: Dict[str, int] = {}
+        self._id_to_name: List[str] = []  # index i holds the name with id i+1
+
+    # -- core mapping ---------------------------------------------------------
+
+    def encode(self, name: str) -> int:
+        """Return the id for ``name``, assigning a fresh one if unseen."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_name) + 1
+        self._name_to_id[name] = new_id
+        self._id_to_name.append(name)
+        return new_id
+
+    def lookup(self, name: str) -> Optional[int]:
+        """Return the id for ``name`` or ``None`` without assigning one."""
+        return self._name_to_id.get(name)
+
+    def decode(self, field_name_id: int) -> str:
+        """Return the name for an id; raises SchemaError for unknown ids."""
+        index = field_name_id - 1
+        if index < 0 or index >= len(self._id_to_name):
+            raise SchemaError(f"unknown FieldNameID {field_name_id}")
+        return self._id_to_name[index]
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def items(self) -> Iterator[Tuple[int, str]]:
+        """Iterate ``(id, name)`` pairs in id order."""
+        for index, name in enumerate(self._id_to_name):
+            yield index + 1, name
+
+    # -- copying / merging ----------------------------------------------------
+
+    def copy(self) -> "FieldNameDictionary":
+        clone = FieldNameDictionary()
+        clone._name_to_id = dict(self._name_to_id)
+        clone._id_to_name = list(self._id_to_name)
+        return clone
+
+    def is_prefix_of(self, other: "FieldNameDictionary") -> bool:
+        """True when ``other`` extends this dictionary without remapping ids.
+
+        Inferred schemas grow monotonically within one partition, so the
+        dictionary persisted with an older component is always a prefix of
+        the newer one; this check guards that invariant in tests and during
+        merges.
+        """
+        if len(self) > len(other):
+            return False
+        return all(self._id_to_name[i] == other._id_to_name[i] for i in range(len(self._id_to_name)))
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize as ``count | (len | utf8)*`` for the metadata page."""
+        parts = [_U32.pack(len(self._id_to_name))]
+        for name in self._id_to_name:
+            encoded = name.encode("utf-8")
+            parts.append(_U32.pack(len(encoded)))
+            parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> Tuple["FieldNameDictionary", int]:
+        """Inverse of :meth:`to_bytes`; returns the dictionary and bytes read."""
+        dictionary = cls()
+        if len(payload) < 4:
+            raise SchemaError("field-name dictionary payload too short")
+        (count,) = _U32.unpack_from(payload, 0)
+        cursor = 4
+        for _ in range(count):
+            (length,) = _U32.unpack_from(payload, cursor)
+            cursor += 4
+            name = payload[cursor:cursor + length].decode("utf-8")
+            cursor += length
+            dictionary.encode(name)
+        return dictionary, cursor

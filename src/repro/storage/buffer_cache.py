@@ -1,0 +1,137 @@
+"""LRU buffer cache sitting between the engine and the file manager.
+
+AsterixDB's buffer cache holds fixed-size, *uncompressed* pages; compression
+and the look-aside files live below it (paper §2.4: "pages are compressed and
+then persisted to disk; on read, pages are decompressed to their original
+configured fixed-size and stored in memory in AsterixDB's buffer cache").
+This class reproduces that split:
+
+* :meth:`read_page` returns the uncompressed page, serving repeated reads
+  from memory (hits) and charging misses to the device through the file
+  manager;
+* :meth:`write_page` pushes a page straight through to the file manager
+  (LSM components are write-once, so a write-back policy would only add
+  complexity) while also installing it in the cache so immediately
+  following queries do not pay a read.
+
+Pages can be *pinned* to keep them resident while an operator iterates over
+them; eviction only considers unpinned pages, in LRU order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import BufferCacheFullError
+from .file_manager import BaseFileManager
+
+PageKey = Tuple[str, int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters exposed to benchmarks and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Frame:
+    __slots__ = ("data", "pin_count")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pin_count = 0
+
+
+class BufferCache:
+    """Fixed-capacity LRU cache of uncompressed pages."""
+
+    def __init__(self, file_manager: BaseFileManager, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self.file_manager = file_manager
+        self.capacity_pages = capacity_pages
+        self.page_size = file_manager.page_size
+        self.stats = CacheStats()
+        self._frames: "OrderedDict[PageKey, _Frame]" = OrderedDict()
+
+    # -- reads --------------------------------------------------------------------
+
+    def read_page(self, file_name: str, page_no: int, pin: bool = False) -> bytes:
+        """Return the uncompressed content of a logical page."""
+        key = (file_name, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(key)
+        else:
+            self.stats.misses += 1
+            data = self.file_manager.read_page(file_name, page_no)
+            frame = _Frame(data)
+            self._install(key, frame)
+        if pin:
+            frame.pin_count += 1
+        return frame.data
+
+    def unpin(self, file_name: str, page_no: int) -> None:
+        frame = self._frames.get((file_name, page_no))
+        if frame is not None and frame.pin_count > 0:
+            frame.pin_count -= 1
+
+    # -- writes ---------------------------------------------------------------------
+
+    def write_page(self, file_name: str, page_no: int, data: bytes) -> None:
+        """Write-through a page and keep it resident."""
+        self.file_manager.write_page(file_name, page_no, data)
+        self.stats.writes += 1
+        self._install((file_name, page_no), _Frame(data))
+
+    # -- file-level helpers -------------------------------------------------------------
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop every cached page of a file (after delete/merge cleanup)."""
+        stale = [key for key in self._frames if key[0] == file_name]
+        for key in stale:
+            del self._frames[key]
+
+    def clear(self) -> None:
+        """Empty the cache (used to make query benchmarks cold-start)."""
+        self._frames.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _install(self, key: PageKey, frame: _Frame) -> None:
+        if key in self._frames:
+            existing = self._frames[key]
+            frame.pin_count = existing.pin_count
+        self._frames[key] = frame
+        self._frames.move_to_end(key)
+        self._evict_if_needed(protect=key)
+
+    def _evict_if_needed(self, protect: PageKey) -> None:
+        while len(self._frames) > self.capacity_pages:
+            victim_key = None
+            for key, frame in self._frames.items():
+                if frame.pin_count == 0 and key != protect:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                raise BufferCacheFullError(
+                    f"all {len(self._frames)} cached pages are pinned; cannot evict"
+                )
+            del self._frames[victim_key]
+            self.stats.evictions += 1

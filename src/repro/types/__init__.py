@@ -1,0 +1,41 @@
+"""ADM-like type system: type tags, value wrappers, declared datatypes."""
+
+from .typetag import TypeTag, VALUE_TYPE_COUNT, tag_name
+from .values import (
+    ADate,
+    ADateTime,
+    AMultiset,
+    APoint,
+    ATime,
+    MISSING,
+    Missing,
+    deep_equals,
+    pack_fixed,
+    pack_variable,
+    type_tag_of,
+    unpack_fixed,
+    unpack_variable,
+)
+from .datatype import Datatype, FieldDeclaration, open_only_primary_key
+
+__all__ = [
+    "TypeTag",
+    "VALUE_TYPE_COUNT",
+    "tag_name",
+    "ADate",
+    "ADateTime",
+    "ATime",
+    "APoint",
+    "AMultiset",
+    "MISSING",
+    "Missing",
+    "deep_equals",
+    "type_tag_of",
+    "pack_fixed",
+    "unpack_fixed",
+    "pack_variable",
+    "unpack_variable",
+    "Datatype",
+    "FieldDeclaration",
+    "open_only_primary_key",
+]

@@ -1,0 +1,258 @@
+"""Value wrappers and Python-value <-> type-tag mapping.
+
+Records enter the system as plain Python objects (the JSON-ish output of
+``json.loads`` plus the wrapper types below for ADM extensions such as
+dates and points).  This module is the single place that decides which
+:class:`~repro.types.typetag.TypeTag` a Python value carries and how it is
+packed into bytes, so the ADM format, the vector-based format, and the
+schema inference all agree on typing.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import struct
+import uuid as _uuid
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..errors import TypeError_
+from .typetag import TypeTag
+
+_EPOCH_DATE = _dt.date(1970, 1, 1)
+
+
+@dataclass(frozen=True, order=True)
+class ADate:
+    """ADM ``date`` value, stored as days since the Unix epoch."""
+
+    days_since_epoch: int
+
+    @classmethod
+    def from_iso(cls, text: str) -> "ADate":
+        parsed = _dt.date.fromisoformat(text)
+        return cls((parsed - _EPOCH_DATE).days)
+
+    def to_date(self) -> _dt.date:
+        return _EPOCH_DATE + _dt.timedelta(days=self.days_since_epoch)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"date('{self.to_date().isoformat()}')"
+
+
+@dataclass(frozen=True, order=True)
+class ADateTime:
+    """ADM ``datetime`` value, stored as milliseconds since the Unix epoch."""
+
+    millis_since_epoch: int
+
+    @classmethod
+    def from_iso(cls, text: str) -> "ADateTime":
+        parsed = _dt.datetime.fromisoformat(text)
+        return cls(int(parsed.timestamp() * 1000))
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"datetime({self.millis_since_epoch})"
+
+
+@dataclass(frozen=True, order=True)
+class ATime:
+    """ADM ``time`` value, stored as milliseconds since midnight."""
+
+    millis_since_midnight: int
+
+
+@dataclass(frozen=True, order=True)
+class APoint:
+    """ADM 2-D ``point`` value."""
+
+    x: float
+    y: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"point({self.x}, {self.y})"
+
+
+@dataclass(frozen=True)
+class AMultiset:
+    """ADM unordered collection (``{{ ... }}``).
+
+    Stored as a tuple to stay hashable; equality is order-insensitive only
+    at the data-model level (collection comparison helpers), not here.
+    """
+
+    items: Tuple[Any, ...]
+
+    def __init__(self, items) -> None:
+        object.__setattr__(self, "items", tuple(items))
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Missing:
+    """Singleton marker for ADM ``missing`` (absent field accessed)."""
+
+    _instance = None
+
+    def __new__(cls) -> "Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The canonical MISSING singleton used across the query engine.
+MISSING = Missing()
+
+
+def type_tag_of(value: Any) -> TypeTag:
+    """Return the :class:`TypeTag` describing a Python value.
+
+    Integers are mapped to ``INT64`` (the paper's examples use a single
+    integer width for inferred fields); narrower widths are only produced
+    by declared closed datatypes.
+    """
+    if value is MISSING or isinstance(value, Missing):
+        return TypeTag.MISSING
+    if value is None:
+        return TypeTag.NULL
+    if isinstance(value, bool):  # must precede int: bool is a subclass of int
+        return TypeTag.BOOLEAN
+    if isinstance(value, int):
+        return TypeTag.INT64
+    if isinstance(value, float):
+        return TypeTag.DOUBLE
+    if isinstance(value, str):
+        return TypeTag.STRING
+    if isinstance(value, (bytes, bytearray)):
+        return TypeTag.BINARY
+    if isinstance(value, ADate):
+        return TypeTag.DATE
+    if isinstance(value, ATime):
+        return TypeTag.TIME
+    if isinstance(value, ADateTime):
+        return TypeTag.DATETIME
+    if isinstance(value, APoint):
+        return TypeTag.POINT
+    if isinstance(value, _uuid.UUID):
+        return TypeTag.UUID
+    if isinstance(value, dict):
+        return TypeTag.OBJECT
+    if isinstance(value, AMultiset):
+        return TypeTag.MULTISET
+    if isinstance(value, (list, tuple)):
+        return TypeTag.ARRAY
+    raise TypeError_(f"value of Python type {type(value).__name__!r} has no ADM mapping: {value!r}")
+
+
+def pack_fixed(tag: TypeTag, value: Any) -> bytes:
+    """Pack a fixed-length scalar into its canonical byte representation."""
+    if tag is TypeTag.BOOLEAN:
+        return b"\x01" if value else b"\x00"
+    if tag is TypeTag.INT8:
+        return struct.pack("<b", value)
+    if tag is TypeTag.INT16:
+        return struct.pack("<h", value)
+    if tag is TypeTag.INT32:
+        return struct.pack("<i", value)
+    if tag is TypeTag.INT64:
+        return struct.pack("<q", value)
+    if tag is TypeTag.FLOAT:
+        return struct.pack("<f", value)
+    if tag is TypeTag.DOUBLE:
+        return struct.pack("<d", value)
+    if tag is TypeTag.DATE:
+        return struct.pack("<i", value.days_since_epoch)
+    if tag is TypeTag.TIME:
+        return struct.pack("<i", value.millis_since_midnight)
+    if tag is TypeTag.DATETIME:
+        return struct.pack("<q", value.millis_since_epoch)
+    if tag is TypeTag.POINT:
+        return struct.pack("<dd", value.x, value.y)
+    if tag is TypeTag.UUID:
+        return value.bytes
+    raise TypeError_(f"{tag.name} is not a packable fixed-length tag")
+
+
+def unpack_fixed(tag: TypeTag, payload: bytes, offset: int = 0) -> Any:
+    """Inverse of :func:`pack_fixed`; reads from ``payload[offset:]``."""
+    if tag is TypeTag.BOOLEAN:
+        return payload[offset] != 0
+    if tag is TypeTag.INT8:
+        return struct.unpack_from("<b", payload, offset)[0]
+    if tag is TypeTag.INT16:
+        return struct.unpack_from("<h", payload, offset)[0]
+    if tag is TypeTag.INT32:
+        return struct.unpack_from("<i", payload, offset)[0]
+    if tag is TypeTag.INT64:
+        return struct.unpack_from("<q", payload, offset)[0]
+    if tag is TypeTag.FLOAT:
+        return struct.unpack_from("<f", payload, offset)[0]
+    if tag is TypeTag.DOUBLE:
+        return struct.unpack_from("<d", payload, offset)[0]
+    if tag is TypeTag.DATE:
+        return ADate(struct.unpack_from("<i", payload, offset)[0])
+    if tag is TypeTag.TIME:
+        return ATime(struct.unpack_from("<i", payload, offset)[0])
+    if tag is TypeTag.DATETIME:
+        return ADateTime(struct.unpack_from("<q", payload, offset)[0])
+    if tag is TypeTag.POINT:
+        x, y = struct.unpack_from("<dd", payload, offset)
+        return APoint(x, y)
+    if tag is TypeTag.UUID:
+        return _uuid.UUID(bytes=bytes(payload[offset:offset + 16]))
+    raise TypeError_(f"{tag.name} is not an unpackable fixed-length tag")
+
+
+def pack_variable(tag: TypeTag, value: Any) -> bytes:
+    """Encode a variable-length scalar (string/binary) into bytes."""
+    if tag is TypeTag.STRING:
+        return value.encode("utf-8")
+    if tag is TypeTag.BINARY:
+        return bytes(value)
+    raise TypeError_(f"{tag.name} is not a variable-length tag")
+
+
+def unpack_variable(tag: TypeTag, payload: bytes) -> Any:
+    """Inverse of :func:`pack_variable`."""
+    if tag is TypeTag.STRING:
+        return payload.decode("utf-8")
+    if tag is TypeTag.BINARY:
+        return bytes(payload)
+    raise TypeError_(f"{tag.name} is not a variable-length tag")
+
+
+def deep_equals(left: Any, right: Any) -> bool:
+    """Structural equality that treats multisets as unordered collections."""
+    if isinstance(left, AMultiset) and isinstance(right, AMultiset):
+        if len(left) != len(right):
+            return False
+        remaining = list(right.items)
+        for item in left.items:
+            for index, candidate in enumerate(remaining):
+                if deep_equals(item, candidate):
+                    del remaining[index]
+                    break
+            else:
+                return False
+        return True
+    if isinstance(left, dict) and isinstance(right, dict):
+        if left.keys() != right.keys():
+            return False
+        return all(deep_equals(left[key], right[key]) for key in left)
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        if len(left) != len(right):
+            return False
+        return all(deep_equals(a, b) for a, b in zip(left, right))
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right or left == right
+    return left == right

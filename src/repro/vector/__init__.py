@@ -1,0 +1,16 @@
+"""Vector-based physical record format (the paper's compaction-friendly format)."""
+
+from .encoder import VectorEncoder, is_compacted, record_total_length
+from .decoder import VectorRecordView, WILDCARD
+from .compaction import compact_record, compaction_savings, expand_record
+
+__all__ = [
+    "VectorEncoder",
+    "VectorRecordView",
+    "WILDCARD",
+    "is_compacted",
+    "record_total_length",
+    "compact_record",
+    "expand_record",
+    "compaction_savings",
+]

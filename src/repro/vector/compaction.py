@@ -1,0 +1,121 @@
+"""Record compaction and expansion against an inferred schema.
+
+Compaction (paper §3.3.2, Figure 14) replaces the inline field-name strings
+of an uncompacted vector-based record with the ``FieldNameID``\\ s assigned
+by the inferred schema, and drops the name bytes entirely.  Only the field
+names vector and the header change; the tags vector and both value vectors
+are copied through untouched, which is why compaction is cheap enough to
+run inside LSM flush operations.
+
+Where the paper signals compaction by zeroing the fourth header offset,
+this implementation keeps the offset (the section still holds the ID
+entries) and records compaction in the header's flags byte; the effect —
+"no field-name bytes are stored in the record" — is identical.
+
+Expansion is the inverse operation.  The engine itself never needs it
+(queries read compacted records directly through
+:class:`~repro.vector.decoder.VectorRecordView`), but it is exposed for
+tests, tooling, and data export.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import EncodingError, SchemaError
+from ..schema.dictionary import FieldNameDictionary
+from .layout import (
+    DECLARED_FIELD_BIT,
+    FLAG_COMPACTED,
+    HEADER,
+    NAME_ENTRY_MAX,
+    U16,
+    U32,
+)
+
+
+def _parse_names_section(payload: bytes, offset_names: int) -> Tuple[int, List[int], int]:
+    """Return ``(count, entries, bytes_cursor)`` of the names section."""
+    (count,) = U32.unpack_from(payload, offset_names)
+    entries = []
+    cursor = offset_names + 4
+    for _ in range(count):
+        (entry,) = U16.unpack_from(payload, cursor)
+        entries.append(entry)
+        cursor += 2
+    return count, entries, cursor
+
+
+def compact_record(payload: bytes, dictionary: FieldNameDictionary) -> bytes:
+    """Compact an uncompacted vector-based record.
+
+    Every inline field name must already be present in ``dictionary`` (the
+    tuple compactor calls schema inference on the record first), otherwise a
+    :class:`SchemaError` is raised — compaction never mutates the schema.
+    """
+    header = HEADER.unpack_from(payload, 0)
+    (total_length, tag_count, flags, r0, r1, r2,
+     offset_tags, offset_fixed, offset_varlen, offset_names) = header
+    if flags & FLAG_COMPACTED:
+        return payload  # already compacted; idempotent
+
+    count, entries, bytes_cursor = _parse_names_section(payload, offset_names)
+    new_entries = bytearray()
+    cursor = bytes_cursor
+    for entry in entries:
+        if entry & DECLARED_FIELD_BIT:
+            new_entries += U16.pack(entry)
+            continue
+        length = entry
+        name = payload[cursor:cursor + length].decode("utf-8")
+        cursor += length
+        field_name_id = dictionary.lookup(name)
+        if field_name_id is None:
+            raise SchemaError(f"cannot compact: field name {name!r} is not in the schema dictionary")
+        if field_name_id > NAME_ENTRY_MAX:
+            raise EncodingError(f"FieldNameID {field_name_id} exceeds the 15-bit entry capacity")
+        new_entries += U16.pack(field_name_id)
+
+    names_section = U32.pack(count) + bytes(new_entries)
+    new_total = offset_names + len(names_section)
+    new_header = HEADER.pack(
+        new_total, tag_count, flags | FLAG_COMPACTED, r0, r1, r2,
+        offset_tags, offset_fixed, offset_varlen, offset_names,
+    )
+    return new_header + payload[HEADER.size:offset_names] + names_section
+
+
+def expand_record(payload: bytes, dictionary: FieldNameDictionary) -> bytes:
+    """Inverse of :func:`compact_record`: re-inline the field-name strings."""
+    header = HEADER.unpack_from(payload, 0)
+    (total_length, tag_count, flags, r0, r1, r2,
+     offset_tags, offset_fixed, offset_varlen, offset_names) = header
+    if not flags & FLAG_COMPACTED:
+        return payload
+
+    count, entries, _ = _parse_names_section(payload, offset_names)
+    new_entries = bytearray()
+    name_bytes = bytearray()
+    for entry in entries:
+        if entry & DECLARED_FIELD_BIT:
+            new_entries += U16.pack(entry)
+            continue
+        name = dictionary.decode(entry)
+        encoded = name.encode("utf-8")
+        if len(encoded) > NAME_ENTRY_MAX:
+            raise EncodingError(f"field name too long to re-inline: {name[:32]!r}...")
+        new_entries += U16.pack(len(encoded))
+        name_bytes += encoded
+
+    names_section = U32.pack(count) + bytes(new_entries) + bytes(name_bytes)
+    new_total = offset_names + len(names_section)
+    new_header = HEADER.pack(
+        new_total, tag_count, flags & ~FLAG_COMPACTED, r0, r1, r2,
+        offset_tags, offset_fixed, offset_varlen, offset_names,
+    )
+    return new_header + payload[HEADER.size:offset_names] + names_section
+
+
+def compaction_savings(uncompacted: bytes, compacted: bytes) -> int:
+    """Bytes saved by compacting one record (useful in reports and tests)."""
+    return len(uncompacted) - len(compacted)

@@ -1,0 +1,403 @@
+"""Decoder and value access for the vector-based record format.
+
+Access to values in this format is a *linear* scan over the values' type
+tags (paper §3.3.1), in contrast with the ADM format's offset-guided
+navigation.  The paper mitigates the linear cost by consolidating all of a
+query's field accesses into a single ``getValues()`` call (§3.4.2); the
+:meth:`VectorRecordView.get_values` method implements exactly that: one
+walk, many paths, early exit once every requested path has been resolved.
+
+Compacted records store field-name ids instead of names, so resolving them
+requires the dataset's declared datatype (for declared-index entries) and
+the inferred schema's field-name dictionary (for FieldNameID entries);
+uncompacted records are fully self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DecodingError
+from ..types import (
+    ADate,
+    ADateTime,
+    AMultiset,
+    APoint,
+    ATime,
+    Datatype,
+    MISSING,
+    TypeTag,
+    unpack_fixed,
+    unpack_variable,
+)
+from .layout import (
+    DECLARED_FIELD_BIT,
+    FLAG_COMPACTED,
+    HEADER,
+    NAME_ENTRY_MAX,
+    POP_MARKER_BIT,
+    U16,
+    U32,
+)
+
+#: A path step: an object field name, a collection index, or "*" (all items).
+PathStep = Union[str, int]
+Path = Tuple[PathStep, ...]
+
+WILDCARD = "*"
+
+#: Cheap scalar placeholders used by :meth:`VectorRecordView.structure`.
+_STRUCTURE_PLACEHOLDERS = {
+    TypeTag.BOOLEAN: False,
+    TypeTag.INT8: 0,
+    TypeTag.INT16: 0,
+    TypeTag.INT32: 0,
+    TypeTag.INT64: 0,
+    TypeTag.FLOAT: 0.0,
+    TypeTag.DOUBLE: 0.0,
+    TypeTag.STRING: "",
+    TypeTag.BINARY: b"",
+    TypeTag.DATE: ADate(0),
+    TypeTag.TIME: ATime(0),
+    TypeTag.DATETIME: ADateTime(0),
+    TypeTag.POINT: APoint(0.0, 0.0),
+}
+
+
+class _WalkEvent:
+    """One event produced by the linear walk over a record's vectors."""
+
+    __slots__ = ("kind", "path", "tag", "value")
+
+    ENTER = 0   # start of a nested value (object/array/multiset)
+    EXIT = 1    # end of a nested value
+    SCALAR = 2  # a scalar value (value decoded lazily only when asked)
+
+    def __init__(self, kind: int, path: Path, tag: TypeTag, value: Any = None) -> None:
+        self.kind = kind
+        self.path = path
+        self.tag = tag
+        self.value = value
+
+
+class VectorRecordView:
+    """Read-only access to one encoded vector-based record.
+
+    Parameters
+    ----------
+    payload:
+        The encoded record bytes (compacted or not).
+    datatype:
+        Declared datatype; needed to resolve declared-index name entries.
+    dictionary:
+        Field-name dictionary of the inferred schema; needed to resolve
+        FieldNameID entries of compacted records.
+    """
+
+    def __init__(self, payload: bytes, datatype: Optional[Datatype] = None,
+                 dictionary=None) -> None:
+        self.payload = payload
+        self.datatype = datatype
+        self.dictionary = dictionary
+        (self.total_length, self.tag_count, self.flags, _, _, _,
+         self.offset_tags, self.offset_fixed, self.offset_varlen,
+         self.offset_names) = HEADER.unpack_from(payload, 0)
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def is_compacted(self) -> bool:
+        return bool(self.flags & FLAG_COMPACTED)
+
+    def __len__(self) -> int:
+        return self.total_length
+
+    # -- full materialization ---------------------------------------------------
+
+    def materialize(self) -> Dict[str, Any]:
+        """Decode the record back into Python objects."""
+        value = self._build(decode_values=True)
+        if not isinstance(value, dict):
+            raise DecodingError("vector-based payload does not hold an object record")
+        return value
+
+    def structure(self) -> Dict[str, Any]:
+        """Return the record's structural skeleton with placeholder scalars.
+
+        This touches only the type tags and field names vectors — the
+        information the tuple compactor scans when inferring a schema
+        (paper §3.3.2) — leaving fixed- and variable-length values unread.
+        """
+        value = self._build(decode_values=False)
+        if not isinstance(value, dict):
+            raise DecodingError("vector-based payload does not hold an object record")
+        return value
+
+    # -- consolidated field access (the getValues() function) --------------------
+
+    def get_values(self, *paths: Sequence[PathStep]) -> List[Any]:
+        """Resolve several access paths in one linear scan (paper §3.4.2).
+
+        Each path is a sequence of field names, collection indexes, and the
+        ``"*"`` wildcard which matches every item of a collection.  Paths
+        without a wildcard resolve to a single value (``MISSING`` when
+        absent); wildcard paths resolve to a list of every matching value.
+        The scan stops as soon as every non-wildcard path has been resolved
+        and no wildcard path remains open, so access cost grows with the
+        position of the requested values within the record (Figure 22).
+        """
+        requests = [tuple(path) for path in paths]
+        results: List[Any] = [MISSING] * len(requests)
+        wildcard_flags = [any(step == WILDCARD for step in request) for request in requests]
+        for index, has_wildcard in enumerate(wildcard_flags):
+            if has_wildcard:
+                results[index] = []
+        pending_exact = sum(1 for flag in wildcard_flags if not flag)
+        capture: Dict[int, _Capture] = {}
+
+        for event in self._walk():
+            # feed open captures first (they consume the whole subtree)
+            finished = []
+            for request_index, cap in capture.items():
+                done = cap.feed(event)
+                if done:
+                    finished.append(request_index)
+            for request_index in finished:
+                cap = capture.pop(request_index)
+                self._store_result(results, wildcard_flags, request_index, cap.result())
+                if not wildcard_flags[request_index]:
+                    pending_exact -= 1
+
+            if event.kind == _WalkEvent.SCALAR:
+                for request_index, request in enumerate(requests):
+                    if request_index in capture:
+                        continue
+                    if self._path_matches(request, event.path):
+                        self._store_result(results, wildcard_flags, request_index, event.value)
+                        if not wildcard_flags[request_index]:
+                            pending_exact -= 1
+            elif event.kind == _WalkEvent.ENTER:
+                for request_index, request in enumerate(requests):
+                    if request_index in capture:
+                        continue
+                    if self._path_matches(request, event.path):
+                        capture[request_index] = _Capture(event)
+
+            if pending_exact == 0 and not any(wildcard_flags) and not capture:
+                break
+        return results
+
+    def get_field(self, *path: PathStep) -> Any:
+        """Single-path access (the un-consolidated ``getField()``)."""
+        return self.get_values(tuple(path))[0]
+
+    def get_items(self, *path: PathStep) -> Sequence[Any]:
+        """Items of the collection at ``path`` (used by UNNEST)."""
+        value = self.get_field(*path)
+        if isinstance(value, AMultiset):
+            return list(value.items)
+        if isinstance(value, list):
+            return value
+        if value is MISSING or value is None:
+            return []
+        return [value]
+
+    @staticmethod
+    def _path_matches(request: Path, path: Path) -> bool:
+        if len(request) != len(path):
+            return False
+        for wanted, actual in zip(request, path):
+            if wanted == WILDCARD:
+                if not isinstance(actual, int):
+                    return False
+            elif wanted != actual:
+                return False
+        return True
+
+    @staticmethod
+    def _store_result(results: List[Any], wildcard_flags: List[bool],
+                      request_index: int, value: Any) -> None:
+        if wildcard_flags[request_index]:
+            results[request_index].append(value)
+        else:
+            results[request_index] = value
+
+    # -- the linear walk -----------------------------------------------------------
+
+    def _walk(self, decode_values: bool = True) -> Iterator[_WalkEvent]:
+        """Yield structural events in tag order (one linear pass)."""
+        payload = self.payload
+        tags_start = self.offset_tags
+        tag_count = self.tag_count
+        fixed_cursor = self.offset_fixed
+
+        (var_count,) = U32.unpack_from(payload, self.offset_varlen)
+        var_length_cursor = self.offset_varlen + 4
+        var_value_cursor = var_length_cursor + 4 * var_count
+
+        (name_count,) = U32.unpack_from(payload, self.offset_names)
+        name_entry_cursor = self.offset_names + 4
+        name_bytes_cursor = name_entry_cursor + 2 * name_count
+
+        # Stack entries: [container_tag, next_item_index] — for objects the
+        # index is unused (children are keyed by name).
+        stack: List[List[Any]] = []
+        path: List[PathStep] = []
+
+        index = 0
+        while index < tag_count:
+            raw = payload[tags_start + index]
+            index += 1
+            if raw & POP_MARKER_BIT:
+                exited_tag = stack.pop()[0]
+                exited_path = tuple(path)
+                if path:
+                    path.pop()
+                yield _WalkEvent(_WalkEvent.EXIT, exited_path, exited_tag)
+                continue
+            tag = TypeTag(raw)
+            if tag is TypeTag.EOV:
+                if stack:
+                    exited_tag = stack.pop()[0]
+                    yield _WalkEvent(_WalkEvent.EXIT, tuple(path), exited_tag)
+                break
+
+            # Determine this value's path component from its parent container.
+            if stack:
+                parent = stack[-1]
+                if parent[0] is TypeTag.OBJECT:
+                    name = self._read_name(payload, name_entry_cursor, name_bytes_cursor)
+                    name_entry_cursor += 2
+                    name_bytes_cursor += name[1]
+                    path.append(name[0])
+                else:
+                    path.append(parent[1])
+                    parent[1] += 1
+            value_path = tuple(path)
+
+            if tag is TypeTag.OBJECT or tag in (TypeTag.ARRAY, TypeTag.MULTISET):
+                stack.append([tag, 0])
+                yield _WalkEvent(_WalkEvent.ENTER, value_path, tag)
+                # nested values do not pop `path` here; the pop marker does
+                continue
+
+            if tag is TypeTag.NULL:
+                value = None
+            elif tag is TypeTag.MISSING:
+                value = MISSING
+            elif tag.is_fixed_length:
+                value = unpack_fixed(tag, payload, fixed_cursor) if decode_values else \
+                    _STRUCTURE_PLACEHOLDERS.get(tag, 0)
+                fixed_cursor += tag.fixed_length
+            elif tag.is_variable_length:
+                (length,) = U32.unpack_from(payload, var_length_cursor)
+                var_length_cursor += 4
+                if decode_values:
+                    value = unpack_variable(tag, payload[var_value_cursor:var_value_cursor + length])
+                else:
+                    value = _STRUCTURE_PLACEHOLDERS.get(tag, "")
+                var_value_cursor += length
+            else:
+                raise DecodingError(f"unexpected tag {tag.name} in tags vector")
+            yield _WalkEvent(_WalkEvent.SCALAR, value_path, tag, value)
+            if path:
+                path.pop()
+
+    def _read_name(self, payload: bytes, entry_cursor: int, bytes_cursor: int) -> Tuple[str, int]:
+        """Decode one field-name entry.
+
+        Returns ``(name, inline_bytes_consumed)`` where the second element is
+        non-zero only for uncompacted inline names.
+        """
+        (entry,) = U16.unpack_from(payload, entry_cursor)
+        if entry & DECLARED_FIELD_BIT:
+            index = entry & NAME_ENTRY_MAX
+            if self.datatype is None or index >= len(self.datatype.fields):
+                raise DecodingError(f"declared field index {index} cannot be resolved without a datatype")
+            return self.datatype.fields[index].name, 0
+        if self.is_compacted:
+            if self.dictionary is None:
+                raise DecodingError("compacted record requires a field-name dictionary to decode")
+            return self.dictionary.decode(entry), 0
+        length = entry
+        name = payload[bytes_cursor:bytes_cursor + length].decode("utf-8")
+        return name, length
+
+    # -- building nested Python values ---------------------------------------------
+
+    def _build(self, decode_values: bool) -> Any:
+        root: Any = None
+        builders: List[_NestedBuilder] = []
+        for event in self._walk(decode_values=decode_values):
+            if event.kind == _WalkEvent.ENTER:
+                builders.append(_NestedBuilder(event.tag, event.path))
+            elif event.kind == _WalkEvent.EXIT:
+                finished = builders.pop()
+                value = finished.finish()
+                if builders:
+                    builders[-1].add(finished.path[-1] if finished.path else None, value)
+                else:
+                    root = value
+            else:
+                if builders:
+                    builders[-1].add(event.path[-1], event.value)
+                else:
+                    root = event.value
+        return root
+
+
+class _NestedBuilder:
+    """Accumulates children of one nested value during materialization."""
+
+    __slots__ = ("tag", "path", "object_fields", "items")
+
+    def __init__(self, tag: TypeTag, path: Path) -> None:
+        self.tag = tag
+        self.path = path
+        self.object_fields: Dict[str, Any] = {}
+        self.items: List[Any] = []
+
+    def add(self, key: Optional[PathStep], value: Any) -> None:
+        if self.tag is TypeTag.OBJECT:
+            self.object_fields[key] = value
+        else:
+            self.items.append(value)
+
+    def finish(self) -> Any:
+        if self.tag is TypeTag.OBJECT:
+            return self.object_fields
+        if self.tag is TypeTag.MULTISET:
+            return AMultiset(self.items)
+        return self.items
+
+
+class _Capture:
+    """Captures one nested subtree encountered during :meth:`get_values`."""
+
+    def __init__(self, enter_event: _WalkEvent) -> None:
+        self._root_path = enter_event.path
+        self._depth = 1
+        self._builders = [_NestedBuilder(enter_event.tag, enter_event.path)]
+        self._result: Any = MISSING
+
+    def feed(self, event: _WalkEvent) -> bool:
+        """Consume one walk event; returns True when the subtree is complete."""
+        if event.kind == _WalkEvent.ENTER:
+            self._depth += 1
+            self._builders.append(_NestedBuilder(event.tag, event.path))
+            return False
+        if event.kind == _WalkEvent.EXIT:
+            self._depth -= 1
+            finished = self._builders.pop()
+            value = finished.finish()
+            if self._builders:
+                self._builders[-1].add(finished.path[-1] if finished.path else None, value)
+                return False
+            self._result = value
+            return True
+        # scalar
+        self._builders[-1].add(event.path[-1], event.value)
+        return False
+
+    def result(self) -> Any:
+        return self._result

@@ -1,0 +1,168 @@
+"""Encoder for the vector-based physical record format (paper §3.3.1).
+
+The encoder performs a single depth-first traversal of the record, appending
+to four flat buffers (tags, fixed-length values, variable-length values,
+field names) and finally concatenating them behind a header.  Unlike the
+recursive ADM encoder there is no child-buffer-into-parent-buffer copying,
+which is the source of the ~40 % record-construction advantage the paper
+measures for this format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import EncodingError
+from ..types import (
+    AMultiset,
+    Datatype,
+    Missing,
+    TypeTag,
+    pack_fixed,
+    pack_variable,
+    type_tag_of,
+)
+from .layout import (
+    DECLARED_FIELD_BIT,
+    FLAG_COMPACTED,
+    HEADER,
+    HEADER_SIZE,
+    NAME_ENTRY_MAX,
+    POP_MARKER_BIT,
+    U16,
+    U32,
+)
+
+
+class VectorEncoder:
+    """Encodes Python records into (uncompacted) vector-based bytes.
+
+    Parameters
+    ----------
+    datatype:
+        Declared datatype of the dataset.  Root-level declared fields store
+        their declared index (high-bit entry) instead of their name, exactly
+        as the paper's Figure 13 stores the index of ``id``.
+    validate:
+        Validate records against the datatype before encoding.
+    """
+
+    def __init__(self, datatype: Optional[Datatype] = None, validate: bool = False) -> None:
+        self.datatype = datatype
+        self.validate = validate and datatype is not None
+
+    def encode(self, record: Dict[str, Any]) -> bytes:
+        """Encode a top-level object record."""
+        if not isinstance(record, dict):
+            raise EncodingError("top-level vector-based records must be objects")
+        if self.validate:
+            self.datatype.validate(record)
+        builder = _Builder(self.datatype)
+        builder.walk_root(record)
+        return builder.finish()
+
+
+class _Builder:
+    """Accumulates the four vectors during one DFS walk."""
+
+    def __init__(self, datatype: Optional[Datatype]) -> None:
+        self.datatype = datatype
+        self.tags = bytearray()
+        self.fixed = bytearray()
+        self.var_lengths: List[int] = []
+        self.var_values = bytearray()
+        self.name_entries: List[int] = []
+        self.name_bytes = bytearray()
+
+    # -- traversal ------------------------------------------------------------
+
+    def walk_root(self, record: Dict[str, Any]) -> None:
+        self.tags.append(TypeTag.OBJECT)
+        for name, value in record.items():
+            if isinstance(value, Missing):
+                continue
+            self._append_field_name(name, at_root=True)
+            self._walk_value(value, parent_tag=TypeTag.OBJECT)
+        self.tags.append(TypeTag.EOV)
+
+    def _walk_value(self, value: Any, parent_tag: TypeTag) -> None:
+        tag = type_tag_of(value)
+        self.tags.append(tag)
+        if tag is TypeTag.OBJECT:
+            for name, child in value.items():
+                if isinstance(child, Missing):
+                    continue
+                self._append_field_name(name, at_root=False)
+                self._walk_value(child, parent_tag=TypeTag.OBJECT)
+            self.tags.append(POP_MARKER_BIT | parent_tag)
+        elif tag in (TypeTag.ARRAY, TypeTag.MULTISET):
+            items = value.items if isinstance(value, AMultiset) else value
+            for item in items:
+                self._walk_value(item, parent_tag=tag)
+            self.tags.append(POP_MARKER_BIT | parent_tag)
+        elif tag in (TypeTag.NULL, TypeTag.MISSING):
+            pass  # tag only, no payload
+        elif tag.is_fixed_length:
+            self.fixed += pack_fixed(tag, value)
+        elif tag.is_variable_length:
+            payload = pack_variable(tag, value)
+            self.var_lengths.append(len(payload))
+            self.var_values += payload
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"cannot encode value with tag {tag.name}")
+
+    def _append_field_name(self, name: str, at_root: bool) -> None:
+        """Append one field-name entry (declared index or inline name)."""
+        if at_root and self.datatype is not None:
+            index = self.datatype.index_of(name)
+            if index is not None:
+                if index > NAME_ENTRY_MAX:
+                    raise EncodingError(f"declared field index {index} exceeds entry capacity")
+                self.name_entries.append(DECLARED_FIELD_BIT | index)
+                return
+        encoded = name.encode("utf-8")
+        if len(encoded) > NAME_ENTRY_MAX:
+            raise EncodingError(f"field name longer than {NAME_ENTRY_MAX} bytes: {name[:32]!r}...")
+        self.name_entries.append(len(encoded))
+        self.name_bytes += encoded
+
+    # -- assembly -----------------------------------------------------------------
+
+    def finish(self) -> bytes:
+        offset_tags = HEADER_SIZE
+        offset_fixed = offset_tags + len(self.tags)
+        varlen_section = bytearray()
+        varlen_section += U32.pack(len(self.var_lengths))
+        for length in self.var_lengths:
+            varlen_section += U32.pack(length)
+        varlen_section += self.var_values
+        offset_varlen = offset_fixed + len(self.fixed)
+        names_section = bytearray()
+        names_section += U32.pack(len(self.name_entries))
+        for entry in self.name_entries:
+            names_section += U16.pack(entry)
+        names_section += self.name_bytes
+        offset_names = offset_varlen + len(varlen_section)
+        total_length = offset_names + len(names_section)
+        header = HEADER.pack(
+            total_length,
+            len(self.tags),
+            0,  # flags: not compacted
+            0, 0, 0,
+            offset_tags,
+            offset_fixed,
+            offset_varlen,
+            offset_names,
+        )
+        return b"".join([header, bytes(self.tags), bytes(self.fixed), bytes(varlen_section), bytes(names_section)])
+
+
+def is_compacted(payload: bytes) -> bool:
+    """True when a vector-based payload has been compacted against a schema."""
+    fields = HEADER.unpack_from(payload, 0)
+    return bool(fields[2] & FLAG_COMPACTED)
+
+
+def record_total_length(payload: bytes) -> int:
+    """Total length recorded in a vector-based payload's header."""
+    return HEADER.unpack_from(payload, 0)[0]

@@ -1,0 +1,148 @@
+"""Additional unit tests: aggregates, configuration validation, plan building."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    DatasetConfig,
+    DEVICE_PROFILES,
+    DeviceKind,
+    LSMConfig,
+    StorageConfig,
+    StorageFormat,
+)
+from repro.errors import QueryError
+from repro.query import get_aggregate, scan
+from repro.query.aggregates import AvgAggregate, CountAggregate, ListifyAggregate
+from repro.query.plan import AggregateSpec
+from repro.query.operators import merge_partials, order_and_limit
+from repro.query import field, lit, Comparison
+from repro.types import MISSING
+
+
+class TestAggregates:
+    def test_count_ignores_missing_and_null(self):
+        count = CountAggregate()
+        state = count.create()
+        for value in (1, None, MISSING, "x"):
+            state = count.accumulate(state, value)
+        assert count.finalize(state) == 2
+
+    def test_avg_merges_partials(self):
+        avg = AvgAggregate()
+        left = avg.create()
+        right = avg.create()
+        for value in (2, 4):
+            left = avg.accumulate(left, value)
+        for value in (6,):
+            right = avg.accumulate(right, value)
+        assert avg.finalize(avg.merge(left, right)) == 4.0
+
+    def test_avg_of_nothing_is_null(self):
+        avg = AvgAggregate()
+        assert avg.finalize(avg.create()) is None
+
+    def test_min_max_sum(self):
+        for name, values, expected in (("min", [3, 1, 2], 1),
+                                       ("max", [3, 1, 2], 3),
+                                       ("sum", [3, 1, 2], 6)):
+            aggregate = get_aggregate(name)
+            state = aggregate.create()
+            for value in values:
+                state = aggregate.accumulate(state, value)
+            assert aggregate.finalize(state) == expected
+
+    def test_listify_collects_and_merges(self):
+        listify = ListifyAggregate()
+        left = listify.accumulate(listify.create(), "a")
+        right = listify.accumulate(listify.create(), "b")
+        assert listify.finalize(listify.merge(left, right)) == ["a", "b"]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            get_aggregate("median")
+
+    def test_merge_partials_across_partitions(self):
+        specs = [AggregateSpec("n", "count", None)]
+        partials = [{("a",): [2]}, {("a",): [3], ("b",): [1]}]
+        merged = merge_partials(partials, specs)
+        assert merged[("a",)] == [5]
+        assert merged[("b",)] == [1]
+
+
+class TestPlanBuilder:
+    def test_count_star_build(self):
+        spec = scan("t").count_star().build()
+        assert spec.is_aggregation and spec.repartitions
+
+    def test_default_projection_is_whole_record(self):
+        spec = scan("t").build()
+        assert spec.projections[0][0] == "record"
+
+    def test_double_where_rejected(self):
+        builder = scan("t").where(Comparison("=", field("t", "a"), lit(1)))
+        with pytest.raises(QueryError):
+            builder.where(Comparison("=", field("t", "b"), lit(2)))
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(QueryError):
+            scan("t").limit(0)
+
+    def test_aggregate_requires_argument(self):
+        with pytest.raises(QueryError):
+            scan("t").aggregate("a", "avg", None).build()
+
+    def test_order_and_limit_on_rows(self):
+        spec = (scan("t").group_by(("k", field("t", "k")))
+                .aggregate("n", "count", None)
+                .order_by("n", descending=True).limit(2).build())
+        rows = [{"k": "a", "n": 3}, {"k": "b", "n": 9}, {"k": "c", "n": 5}]
+        ordered = order_and_limit(rows, spec)
+        assert [row["k"] for row in ordered] == ["b", "c"]
+
+
+class TestConfig:
+    def test_inferred_format_implies_compactor(self):
+        config = DatasetConfig(name="d", storage_format=StorageFormat.INFERRED)
+        assert config.tuple_compactor_enabled
+
+    def test_compactor_requires_vector_format(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(name="d", storage_format=StorageFormat.OPEN,
+                          tuple_compactor_enabled=True)
+
+    def test_dataset_config_validation(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(name="")
+        with pytest.raises(ValueError):
+            DatasetConfig(name="d", primary_key="")
+
+    def test_storage_config_validation(self):
+        with pytest.raises(ValueError):
+            StorageConfig(page_size=64)
+        with pytest.raises(ValueError):
+            StorageConfig(buffer_cache_pages=0)
+
+    def test_cluster_config(self):
+        assert ClusterConfig(node_count=3, partitions_per_node=2).total_partitions == 6
+        with pytest.raises(ValueError):
+            ClusterConfig(node_count=0)
+
+    def test_device_profiles_match_paper(self):
+        sata = DEVICE_PROFILES[DeviceKind.SATA_SSD]
+        nvme = DEVICE_PROFILES[DeviceKind.NVME_SSD]
+        assert sata["read_bandwidth"] == 550 * 1024 * 1024
+        assert nvme["read_bandwidth"] == 3400 * 1024 * 1024
+        assert nvme["read_bandwidth"] > sata["read_bandwidth"]
+
+    def test_storage_format_helpers(self):
+        assert StorageFormat.INFERRED.uses_vector_format
+        assert StorageFormat.SL_VB.uses_vector_format
+        assert not StorageFormat.OPEN.uses_vector_format
+        assert StorageFormat.INFERRED.compacts_records
+        assert not StorageFormat.SL_VB.compacts_records
+
+    def test_lsm_config_defaults(self):
+        config = LSMConfig()
+        assert config.merge_policy == "prefix"
+        assert config.maintain_primary_key_index

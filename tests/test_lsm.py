@@ -1,0 +1,359 @@
+"""Unit tests for the LSM engine: components, flush, merge, policies, recovery."""
+
+import pytest
+
+from repro.errors import ComponentStateError, DuplicateKeyError
+from repro.lsm import (
+    ComponentId,
+    ComponentWriter,
+    ConstantMergePolicy,
+    FlushCallback,
+    LSMBTree,
+    NoMergePolicy,
+    PrefixMergePolicy,
+    make_merge_policy,
+    read_component_metadata,
+    recover_index,
+)
+from repro.btree import LeafEntry
+from repro.storage import BufferCache, InMemoryFileManager, SimulatedStorageDevice, WriteAheadLog
+
+PAGE_SIZE = 2048
+
+
+def _cache(capacity=512):
+    device = SimulatedStorageDevice()
+    manager = InMemoryFileManager(device, PAGE_SIZE)
+    return device, BufferCache(manager, capacity)
+
+
+def _index(memory_budget=4096, merge_policy=None, wal=None, cache=None,
+           maintain_primary_key_index=False, check_duplicate_keys=False):
+    if cache is None:
+        _, cache = _cache()
+    return LSMBTree(
+        name="ds", partition=0, buffer_cache=cache, memory_budget=memory_budget,
+        merge_policy=merge_policy or NoMergePolicy(), wal=wal,
+        maintain_primary_key_index=maintain_primary_key_index,
+        check_duplicate_keys=check_duplicate_keys,
+    )
+
+
+def _payload(key: int, size: int = 64) -> bytes:
+    return (str(key).encode() + b"-") * (size // (len(str(key)) + 1) + 1)
+
+
+class TestComponentId:
+    def test_flushed_and_merged_ids(self):
+        c0, c1, c2 = ComponentId.flushed(0), ComponentId.flushed(1), ComponentId.flushed(2)
+        merged = ComponentId.merged([c1, c0])
+        assert merged.min_seq == 0 and merged.max_seq == 1
+        assert str(merged) == "C0-1"
+        assert c2.is_newer_than(merged)
+        assert ComponentId.merged([merged, c2]).max_seq == 2
+
+    def test_non_adjacent_merge_rejected(self):
+        with pytest.raises(ComponentStateError):
+            ComponentId.merged([ComponentId.flushed(0), ComponentId.flushed(2)])
+
+    def test_ordering_by_recency(self):
+        ids = [ComponentId.flushed(3), ComponentId(0, 2), ComponentId.flushed(4)]
+        assert sorted(ids)[-1] == ComponentId.flushed(4)
+
+
+class TestComponentWriterAndMetadata:
+    def test_metadata_roundtrip(self):
+        _, cache = _cache()
+        writer = ComponentWriter(cache, "comp")
+        entries = [LeafEntry(i, _payload(i)) for i in range(50)]
+        metadata = writer.write(ComponentId.flushed(0), entries, schema_bytes=b"schema-blob")
+        loaded = read_component_metadata(cache, "comp")
+        assert loaded is not None
+        assert loaded.component_id == ComponentId.flushed(0)
+        assert loaded.entry_count == 50
+        assert loaded.min_key == 0 and loaded.max_key == 49
+        assert loaded.schema_bytes == b"schema-blob"
+        assert loaded.btree_info.entry_count == metadata.btree_info.entry_count
+
+    def test_invalid_component_detected(self):
+        _, cache = _cache()
+        writer = ComponentWriter(cache, "halfdone")
+        entries = [LeafEntry(i, _payload(i)) for i in range(10)]
+        with pytest.raises(ComponentStateError):
+            writer.write(ComponentId.flushed(0), entries, fail_before_footer=True)
+        assert read_component_metadata(cache, "halfdone") is None
+
+    def test_missing_file_is_invalid(self):
+        _, cache = _cache()
+        assert read_component_metadata(cache, "never-created") is None
+
+
+class TestFlushAndSearch:
+    def test_insert_search_before_and_after_flush(self):
+        index = _index()
+        for key in range(20):
+            index.insert(key, {"id": key}, _payload(key))
+        assert index.search(5).from_memory
+        index.flush()
+        assert index.component_count() == 1
+        result = index.search(5)
+        assert result is not None and not result.from_memory
+        assert index.search(99) is None
+
+    def test_automatic_flush_on_budget(self):
+        index = _index(memory_budget=1500)
+        for key in range(40):
+            index.insert(key, {"id": key}, _payload(key))
+        assert index.stats.flushes >= 1
+        assert index.component_count() >= 1
+
+    def test_flush_empty_memtable_is_noop(self):
+        index = _index()
+        assert index.flush() is None
+
+    def test_duplicate_key_check(self):
+        index = _index(check_duplicate_keys=True)
+        index.insert(1, {"id": 1}, _payload(1))
+        with pytest.raises(DuplicateKeyError):
+            index.insert(1, {"id": 1}, _payload(1))
+
+    def test_delete_creates_antimatter_and_hides_record(self):
+        index = _index()
+        index.insert(1, {"id": 1}, _payload(1))
+        index.flush()
+        index.delete(1)
+        assert index.search(1) is None
+        index.flush()
+        assert index.search(1) is None
+
+    def test_upsert_overwrites(self):
+        index = _index()
+        index.insert(1, {"id": 1, "v": "a"}, b"version-a")
+        index.flush()
+        index.upsert(1, {"id": 1, "v": "b"}, b"version-b")
+        assert index.search(1).payload == b"version-b"
+        index.flush()
+        assert index.search(1).payload == b"version-b"
+
+    def test_scan_reconciles_recency_and_antimatter(self):
+        index = _index()
+        for key in range(10):
+            index.insert(key, {"id": key}, _payload(key))
+        index.flush()
+        index.delete(3)
+        index.upsert(4, {"id": 4}, b"new-4")
+        index.insert(100, {"id": 100}, _payload(100))
+        keys = [result.key for result in index.scan()]
+        assert keys == [0, 1, 2, 4, 5, 6, 7, 8, 9, 100]
+        by_key = {result.key: result for result in index.scan()}
+        assert by_key[4].payload == b"new-4"
+
+    def test_storage_size_grows_with_flushes(self):
+        index = _index()
+        assert index.storage_size() == 0
+        for key in range(50):
+            index.insert(key, {"id": key}, _payload(key))
+        index.flush()
+        assert index.storage_size() > 0
+
+
+class TestBulkLoad:
+    def test_load_builds_single_component(self):
+        index = _index()
+        rows = [(key, {"id": key}, _payload(key)) for key in range(200)]
+        index.load(rows)
+        assert index.component_count() == 1
+        assert index.search(150) is not None
+        assert index.record_count() == 200
+
+    def test_load_sorts_input(self):
+        index = _index()
+        rows = [(key, {"id": key}, _payload(key)) for key in reversed(range(50))]
+        index.load(rows)
+        assert [r.key for r in index.scan()] == list(range(50))
+
+    def test_load_requires_empty_index(self):
+        index = _index()
+        index.insert(1, {"id": 1}, _payload(1))
+        with pytest.raises(ComponentStateError):
+            index.load([(2, {"id": 2}, _payload(2))])
+
+    def test_load_rejects_duplicates(self):
+        index = _index()
+        with pytest.raises(DuplicateKeyError):
+            index.load([(1, {"id": 1}, b"a"), (1, {"id": 1}, b"b")])
+
+
+class TestMergePolicies:
+    def test_no_merge_policy(self):
+        assert NoMergePolicy().select_merge([object(), object()]) == []
+
+    def test_constant_policy_threshold(self):
+        index = _index(merge_policy=ConstantMergePolicy(3))
+        for batch in range(3):
+            for key in range(batch * 10, batch * 10 + 10):
+                index.insert(key, {"id": key}, _payload(key))
+            index.flush()
+        # third flush triggers a merge of all three components
+        assert index.component_count() == 1
+        assert index.stats.merges == 1
+        assert index.components[0].component_id.is_merged
+
+    def test_prefix_policy_respects_max_size(self):
+        policy = PrefixMergePolicy(max_mergable_component_size=10_000,
+                                   max_tolerable_component_count=2)
+
+        class FakeComponent:
+            def __init__(self, size):
+                self._size = size
+
+            def size_bytes(self):
+                return self._size
+
+        small = [FakeComponent(1000), FakeComponent(1000)]
+        assert len(policy.select_merge(small)) == 2
+        with_large_old = small + [FakeComponent(50_000)]
+        assert len(policy.select_merge(with_large_old)) == 2
+        large_first = [FakeComponent(50_000)] + small
+        assert policy.select_merge(large_first) == []
+
+    def test_make_merge_policy(self):
+        assert isinstance(make_merge_policy("prefix", 1, 2), PrefixMergePolicy)
+        assert isinstance(make_merge_policy("constant", 1, 2), ConstantMergePolicy)
+        assert isinstance(make_merge_policy("none", 1, 2), NoMergePolicy)
+        with pytest.raises(Exception):
+            make_merge_policy("bogus", 1, 2)
+
+
+class TestMergeSemantics:
+    def test_merge_garbage_collects_annihilated_pairs(self):
+        """Figure 4b: a record and its anti-matter annihilate during the merge."""
+        index = _index()
+        index.insert(0, {"id": 0}, _payload(0))
+        index.insert(1, {"id": 1}, _payload(1))
+        index.flush()
+        index.delete(0)
+        index.insert(2, {"id": 2}, _payload(2))
+        index.flush()
+        assert index.component_count() == 2
+        merged = index.merge(list(index.components))
+        assert index.component_count() == 1
+        keys = [entry.key for entry in merged.scan()]
+        assert keys == [1, 2]
+        assert all(not entry.is_antimatter for entry in merged.scan())
+
+    def test_merge_keeps_antimatter_when_older_components_remain(self):
+        index = _index()
+        index.insert(0, {"id": 0}, _payload(0))
+        index.flush()
+        index.delete(0)
+        index.flush()
+        index.insert(5, {"id": 5}, _payload(5))
+        index.flush()
+        assert index.component_count() == 3
+        # merge only the two newest components (C1: antimatter for 0, C2: insert 5)
+        merged = index.merge(index.components[:2])
+        assert index.component_count() == 2
+        entries = list(merged.scan())
+        assert any(entry.is_antimatter and entry.key == 0 for entry in entries)
+        # the deleted record must remain invisible
+        assert index.search(0) is None
+
+    def test_merged_component_files_replace_old_ones(self):
+        index = _index()
+        manager = index.buffer_cache.file_manager
+        for batch in range(2):
+            for key in range(batch * 5, batch * 5 + 5):
+                index.insert(key, {"id": key}, _payload(key))
+            index.flush()
+        old_files = set(manager.list_files())
+        index.merge(list(index.components))
+        new_files = set(manager.list_files())
+        assert len(new_files) == 1
+        assert not old_files & new_files
+
+    def test_merge_preserves_all_live_records(self):
+        index = _index(merge_policy=ConstantMergePolicy(4))
+        for key in range(400):
+            index.insert(key, {"id": key}, _payload(key))
+            if key % 100 == 99:
+                index.flush()
+        index.flush()
+        assert sorted(r.key for r in index.scan()) == list(range(400))
+
+
+class TestPrimaryKeyIndex:
+    def test_pk_index_answers_existence(self):
+        index = _index(maintain_primary_key_index=True)
+        for key in range(30):
+            index.insert(key, {"id": key}, _payload(key))
+        index.flush()
+        component = index.components[0]
+        assert component.primary_key_index is not None
+        assert component.key_may_exist(7)
+        assert not component.key_may_exist(999)
+
+    def test_pk_index_smaller_than_primary(self):
+        index = _index(maintain_primary_key_index=True)
+        for key in range(100):
+            index.insert(key, {"id": key}, _payload(key, size=256))
+        index.flush()
+        component = index.components[0]
+        manager = index.buffer_cache.file_manager
+        assert manager.file_size(component.primary_key_file) < manager.file_size(component.file_name)
+
+
+class TestWALAndRecovery:
+    def test_wal_truncated_after_flush(self):
+        wal = WriteAheadLog()
+        index = _index(wal=wal)
+        for key in range(10):
+            index.insert(key, {"id": key}, _payload(key))
+        assert len(wal) > 0
+        index.flush()
+        assert list(wal.replay(dataset="ds", partition=0)) == []
+
+    def test_recovery_replays_unflushed_records(self):
+        _, cache = _cache()
+        wal = WriteAheadLog()
+        index = _index(wal=wal, cache=cache)
+        for key in range(10):
+            index.insert(key, {"id": key}, _payload(key))
+        index.flush()
+        for key in range(10, 16):
+            index.insert(key, {"id": key}, _payload(key))
+        # crash: lose the memtable, keep files + WAL
+        fresh = _index(wal=wal, cache=cache)
+        report = recover_index(fresh, wal=wal, payload_decoder=lambda payload: {"raw": True})
+        assert report.valid_components == 1
+        assert report.replayed_log_records == 6
+        assert report.flushed_after_replay
+        assert sorted(r.key for r in fresh.scan()) == list(range(16))
+
+    def test_recovery_removes_invalid_component(self):
+        _, cache = _cache()
+        wal = WriteAheadLog()
+        index = _index(wal=wal, cache=cache)
+        for key in range(8):
+            index.insert(key, {"id": key}, _payload(key))
+        with pytest.raises(ComponentStateError):
+            index.flush(fail_before_footer=True)  # crash mid-flush
+        fresh = _index(wal=wal, cache=cache)
+        report = recover_index(fresh, wal=wal, payload_decoder=lambda payload: {"raw": True})
+        assert report.invalid_components_removed == 1
+        assert report.valid_components == 0      # nothing valid survived the crash
+        assert report.flushed_after_replay       # ...but the WAL replay re-flushed it
+        assert fresh.component_count() == 1
+        assert sorted(r.key for r in fresh.scan()) == list(range(8))
+
+    def test_recovery_without_wal_only_discovers_components(self):
+        _, cache = _cache()
+        index = _index(cache=cache)
+        for key in range(5):
+            index.insert(key, {"id": key}, _payload(key))
+        index.flush()
+        fresh = _index(cache=cache)
+        report = recover_index(fresh)
+        assert report.valid_components == 1
+        assert report.replayed_log_records == 0
+        assert sorted(r.key for r in fresh.scan()) == list(range(5))

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Invariants covered:
+
+* both physical record formats round-trip arbitrary JSON-like records;
+* vector-based compaction is lossless and never grows a record;
+* schema inference is insensitive to record order, monotone under
+  observation, and returns to the empty schema after removing everything it
+  observed;
+* the B+-tree bulk loader + reader agree with a plain dict/sorted-list
+  oracle for random key sets;
+* the LSM index agrees with a dict oracle under random interleavings of
+  inserts, upserts, deletes, and flushes.
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adm import ADMDecoder, ADMEncoder
+from repro.btree import BTree, BulkLoader, LeafEntry
+from repro.core import TupleCompactor
+from repro.lsm import LSMBTree, NoMergePolicy
+from repro.schema import InferredSchema, extract_antischema
+from repro.storage import BufferCache, InMemoryFileManager, SimulatedStorageDevice
+from repro.types import deep_equals, open_only_primary_key
+from repro.vector import VectorEncoder, VectorRecordView, compact_record, expand_record
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_field_names = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12)
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=24),
+)
+
+
+def _values(depth: int = 2):
+    if depth == 0:
+        return _scalars
+    children = _values(depth - 1)
+    return st.one_of(
+        _scalars,
+        st.lists(children, max_size=4),
+        st.dictionaries(_field_names, children, max_size=4),
+    )
+
+
+_records = st.dictionaries(_field_names, _values(2), max_size=6)
+
+_slow_settings = settings(max_examples=40, deadline=None,
+                          suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# format round-trips
+# ---------------------------------------------------------------------------
+
+class TestFormatRoundTrips:
+    @_slow_settings
+    @given(record=_records)
+    def test_adm_roundtrip(self, record):
+        payload = ADMEncoder(None).encode(record)
+        assert deep_equals(ADMDecoder(None).decode(payload), record)
+
+    @_slow_settings
+    @given(record=_records)
+    def test_vector_roundtrip(self, record):
+        payload = VectorEncoder(None).encode(record)
+        assert deep_equals(VectorRecordView(payload).materialize(), record)
+
+    @_slow_settings
+    @given(record=_records)
+    def test_compaction_is_lossless_and_never_grows(self, record):
+        datatype = open_only_primary_key("T")
+        record = dict(record)
+        record.setdefault("id", 1)
+        schema = InferredSchema(datatype)
+        schema.observe(record)
+        payload = VectorEncoder(datatype).encode(record)
+        compacted = compact_record(payload, schema.dictionary)
+        assert len(compacted) <= len(payload)
+        view = VectorRecordView(compacted, datatype, schema.dictionary)
+        assert deep_equals(view.materialize(), record)
+        assert expand_record(compacted, schema.dictionary) == payload
+
+
+# ---------------------------------------------------------------------------
+# schema inference invariants
+# ---------------------------------------------------------------------------
+
+class TestSchemaInvariants:
+    @_slow_settings
+    @given(records=st.lists(_records, min_size=1, max_size=8))
+    def test_order_insensitive_structure(self, records):
+        """Observation order may change FieldNameID assignment but not the
+        name-resolved structure of the schema."""
+        from repro.schema import leaf_paths
+
+        forward = InferredSchema()
+        backward = InferredSchema()
+        forward.observe_all(records)
+        backward.observe_all(list(reversed(records)))
+        forward_paths = sorted(leaf_paths(forward.root, forward.dictionary))
+        backward_paths = sorted(leaf_paths(backward.root, backward.dictionary))
+        assert forward_paths == backward_paths
+        assert forward.root.counter == backward.root.counter
+
+    @_slow_settings
+    @given(records=st.lists(_records, min_size=1, max_size=8))
+    def test_observation_is_monotone(self, records):
+        schema = InferredSchema()
+        previous = schema.snapshot()
+        for record in records:
+            schema.observe(record)
+            assert schema.is_superset_of(previous)
+            previous = schema.snapshot()
+
+    @_slow_settings
+    @given(records=st.lists(_records, min_size=1, max_size=8))
+    def test_remove_everything_returns_to_empty(self, records):
+        schema = InferredSchema()
+        schema.observe_all(records)
+        for record in records:
+            schema.remove(extract_antischema(record))
+        assert schema.field_count == 0
+        assert schema.root.counter == 0
+
+    @_slow_settings
+    @given(records=st.lists(_records, min_size=1, max_size=8))
+    def test_serialization_roundtrip(self, records):
+        schema = InferredSchema()
+        schema.observe_all(records)
+        restored = InferredSchema.from_bytes(schema.to_bytes())
+        assert restored.structurally_equal(schema, compare_counters=True)
+
+
+# ---------------------------------------------------------------------------
+# B+-tree vs oracle
+# ---------------------------------------------------------------------------
+
+class TestBTreeOracle:
+    @_slow_settings
+    @given(keys=st.sets(st.integers(min_value=0, max_value=10 ** 6), min_size=1, max_size=300),
+           probes=st.lists(st.integers(min_value=0, max_value=10 ** 6), max_size=30),
+           bounds=st.tuples(st.integers(min_value=0, max_value=10 ** 6),
+                            st.integers(min_value=0, max_value=10 ** 6)))
+    def test_lookup_and_range_match_oracle(self, keys, probes, bounds):
+        ordered = sorted(keys)
+        device = SimulatedStorageDevice()
+        cache = BufferCache(InMemoryFileManager(device, 512), 256)
+        cache.file_manager.create_file("t")
+        info = BulkLoader(cache, "t").build([LeafEntry(key, str(key).encode()) for key in ordered])
+        tree = BTree(cache, "t", info)
+        for probe in probes:
+            found = tree.search(probe)
+            assert (found is not None) == (probe in keys)
+        low, high = min(bounds), max(bounds)
+        expected = [key for key in ordered if low <= key <= high]
+        assert [entry.key for entry in tree.range_scan(low, high)] == expected
+
+
+# ---------------------------------------------------------------------------
+# LSM index vs dict oracle
+# ---------------------------------------------------------------------------
+
+class _Op:
+    INSERT, UPSERT, DELETE, FLUSH = range(4)
+
+
+_operations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=40)),
+    min_size=1, max_size=80,
+)
+
+
+class TestLSMOracle:
+    @_slow_settings
+    @given(operations=_operations)
+    def test_random_workload_matches_dict(self, operations):
+        datatype = open_only_primary_key("T")
+        encoder = VectorEncoder(datatype)
+        compactor = TupleCompactor(datatype)
+        device = SimulatedStorageDevice()
+        cache = BufferCache(InMemoryFileManager(device, 2048), 512)
+        index = LSMBTree("oracle", 0, cache, memory_budget=1 << 20,
+                         merge_policy=NoMergePolicy(), flush_callback=compactor)
+        oracle = {}
+        for op, key in operations:
+            record = {"id": key, "value": f"v{key}", "op": op}
+            if op == _Op.INSERT:
+                if key in oracle:
+                    continue
+                index.insert(key, record, encoder.encode(record))
+                oracle[key] = record
+            elif op == _Op.UPSERT:
+                index.upsert(key, record, encoder.encode(record))
+                oracle[key] = record
+            elif op == _Op.DELETE:
+                if key not in oracle:
+                    continue
+                index.delete(key)
+                del oracle[key]
+            else:
+                index.flush()
+        # final comparison via point lookups and a full scan
+        scanned = {result.key for result in index.scan()}
+        assert scanned == set(oracle)
+        for key, record in oracle.items():
+            found = index.search(key)
+            assert found is not None
+            decoded = compactor.decode_record(found.payload, found.schema) \
+                if found.record is None else found.record
+            assert decoded == record

@@ -1,0 +1,303 @@
+"""Unit tests for schema inference, maintenance, and serialization."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    CollectionNode,
+    FieldNameDictionary,
+    InferredSchema,
+    ObjectNode,
+    ScalarNode,
+    UnionNode,
+    extract_antischema,
+    leaf_paths,
+    nodes_equal,
+)
+from repro.types import (
+    ADate,
+    AMultiset,
+    APoint,
+    TypeTag,
+    open_only_primary_key,
+)
+
+PAPER_FIGURE10_RECORD = {
+    "id": 1,
+    "name": "Ann",
+    "dependents": AMultiset([
+        {"name": "Bob", "age": 6},
+        {"name": "Carol", "age": 10},
+    ]),
+    "employment_date": ADate.from_iso("2018-09-20"),
+    "branch_location": APoint(24.0, -56.12),
+    "working_shifts": [[8, 16], [9, 17], [10, 18], "on_call"],
+}
+
+SIMPLE_RECORDS = [{"id": i, "name": f"user{i}"} for i in range(2, 7)]
+
+
+def _employee_schema():
+    return InferredSchema(open_only_primary_key("EmployeeType"))
+
+
+class TestFieldNameDictionary:
+    def test_ids_start_at_one_and_are_stable(self):
+        dictionary = FieldNameDictionary()
+        assert dictionary.encode("name") == 1
+        assert dictionary.encode("age") == 2
+        assert dictionary.encode("name") == 1
+        assert dictionary.decode(2) == "age"
+
+    def test_lookup_does_not_assign(self):
+        dictionary = FieldNameDictionary()
+        assert dictionary.lookup("nope") is None
+        assert len(dictionary) == 0
+
+    def test_unknown_id_raises(self):
+        dictionary = FieldNameDictionary()
+        with pytest.raises(SchemaError):
+            dictionary.decode(1)
+
+    def test_serialization_roundtrip(self):
+        dictionary = FieldNameDictionary()
+        for name in ["name", "dependents", "age", "employment_date"]:
+            dictionary.encode(name)
+        payload = dictionary.to_bytes()
+        restored, consumed = FieldNameDictionary.from_bytes(payload)
+        assert consumed == len(payload)
+        assert list(restored.items()) == list(dictionary.items())
+
+    def test_prefix_check(self):
+        base = FieldNameDictionary()
+        base.encode("a")
+        extended = base.copy()
+        extended.encode("b")
+        assert base.is_prefix_of(extended)
+        assert not extended.is_prefix_of(base)
+
+
+class TestInference:
+    def test_figure10_structure(self):
+        """Reproduces the paper's Figure 10: one rich record + five simple ones."""
+        schema = _employee_schema()
+        schema.observe(PAPER_FIGURE10_RECORD)
+        schema.observe_all(SIMPLE_RECORDS)
+
+        root = schema.root
+        assert root.counter == 6
+        name_id = schema.field_name_id("name")
+        assert isinstance(root.child(name_id), ScalarNode)
+        assert root.child(name_id).counter == 6
+        # "id" is declared -> not inferred.
+        assert schema.field_name_id("id") is None
+
+        dependents = root.child(schema.field_name_id("dependents"))
+        assert isinstance(dependents, CollectionNode)
+        assert dependents.tag is TypeTag.MULTISET
+        assert isinstance(dependents.item, ObjectNode)
+        assert dependents.item.counter == 2  # two dependent objects observed
+
+        shifts = root.child(schema.field_name_id("working_shifts"))
+        assert isinstance(shifts, CollectionNode)
+        assert isinstance(shifts.item, UnionNode)
+        assert set(shifts.item.options) == {TypeTag.ARRAY, TypeTag.STRING}
+        assert shifts.item.option(TypeTag.ARRAY).counter == 3
+        assert shifts.item.option(TypeTag.STRING).counter == 1
+
+    def test_field_name_canonicalization(self):
+        """'name' at the root and inside dependents shares one FieldNameID."""
+        schema = _employee_schema()
+        schema.observe(PAPER_FIGURE10_RECORD)
+        # name, dependents, age, employment_date, branch_location, working_shifts;
+        # the nested "name" inside dependents reuses the root "name"'s id.
+        assert len(schema.dictionary) == 6
+        name_id = schema.field_name_id("name")
+        dependents = schema.root.child(schema.field_name_id("dependents"))
+        assert name_id in dependents.item.fields
+
+    def test_union_promotion_on_type_change(self):
+        """Figure 9b: age switches from int to union(int, string)."""
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim", "age": 26})
+        schema.observe({"id": 1, "name": "John", "age": 22})
+        schema.observe({"id": 2, "name": "Ann"})
+        schema.observe({"id": 3, "name": "Bob", "age": "old"})
+
+        age = schema.root.child(schema.field_name_id("age"))
+        assert isinstance(age, UnionNode)
+        assert set(age.options) == {TypeTag.INT64, TypeTag.STRING}
+        assert age.option(TypeTag.INT64).counter == 2
+        assert age.option(TypeTag.STRING).counter == 1
+        assert age.counter == 3
+
+    def test_superset_property(self):
+        """Each newly inferred schema is a superset of the previous one."""
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim", "age": 26})
+        first = schema.snapshot()
+        schema.observe({"id": 3, "name": "Bob", "age": "old", "extra": [1.5]})
+        assert schema.is_superset_of(first)
+        assert not first.is_superset_of(schema)
+
+    def test_observe_rejects_non_objects(self):
+        with pytest.raises(SchemaError):
+            _employee_schema().observe([1, 2, 3])
+
+    def test_null_fields_are_tracked(self):
+        schema = _employee_schema()
+        schema.observe({"id": 1, "maybe": None})
+        node = schema.root.child(schema.field_name_id("maybe"))
+        assert isinstance(node, ScalarNode)
+        assert node.tag is TypeTag.NULL
+
+
+class TestMaintenance:
+    def test_delete_shrinks_schema_to_figure11(self):
+        """Figure 11: deleting the rich record leaves only 'name' behind."""
+        schema = _employee_schema()
+        schema.observe(PAPER_FIGURE10_RECORD)
+        schema.observe_all(SIMPLE_RECORDS)
+
+        schema.remove(extract_antischema(PAPER_FIGURE10_RECORD))
+
+        root = schema.root
+        assert root.counter == 5
+        remaining_ids = set(root.fields)
+        assert remaining_ids == {schema.field_name_id("name")}
+        assert root.child(schema.field_name_id("name")).counter == 5
+
+    def test_union_collapses_after_delete(self):
+        """Deleting the only string-aged record turns union(int,string) into int."""
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim", "age": 26})
+        schema.observe({"id": 3, "name": "Bob", "age": "old"})
+        schema.remove(extract_antischema({"id": 3, "name": "Bob", "age": "old"}))
+
+        age = schema.root.child(schema.field_name_id("age"))
+        assert isinstance(age, ScalarNode)
+        assert age.tag is TypeTag.INT64
+        assert age.counter == 1
+
+    def test_remove_unknown_field_raises(self):
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim"})
+        with pytest.raises(SchemaError):
+            schema.remove({"never_seen": 1})
+
+    def test_remove_then_observe_again(self):
+        schema = _employee_schema()
+        record = {"id": 1, "tags": ["a", "b"]}
+        schema.observe(record)
+        schema.remove(extract_antischema(record))
+        assert schema.field_count == 0
+        schema.observe(record)
+        tags = schema.root.child(schema.field_name_id("tags"))
+        assert isinstance(tags, CollectionNode)
+        assert tags.counter == 1
+
+    def test_counter_underflow_detected(self):
+        schema = _employee_schema()
+        record = {"id": 1, "name": "Ann"}
+        schema.observe(record)
+        schema.remove(extract_antischema(record))
+        with pytest.raises(SchemaError):
+            schema.remove(extract_antischema(record))
+
+
+class TestAntischema:
+    def test_scalars_replaced_with_placeholders(self):
+        anti = extract_antischema(PAPER_FIGURE10_RECORD)
+        assert anti["name"] == ""
+        assert anti["id"] == 0
+        assert anti["employment_date"] == ADate(0)
+        assert anti["working_shifts"][3] == ""
+        assert anti["dependents"].items[0] == {"name": "", "age": 0}
+
+    def test_antischema_preserves_types(self):
+        from repro.types import type_tag_of
+
+        anti = extract_antischema({"a": 1.5, "b": "text", "c": [True]})
+        assert type_tag_of(anti["a"]) is TypeTag.DOUBLE
+        assert type_tag_of(anti["b"]) is TypeTag.STRING
+        assert type_tag_of(anti["c"][0]) is TypeTag.BOOLEAN
+
+
+class TestMergeAndSnapshot:
+    def test_merge_newest_picks_latest_version(self):
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim", "age": 26})
+        snapshot_0 = schema.snapshot()
+        schema.observe({"id": 3, "name": "Bob", "age": "old"})
+        snapshot_1 = schema.snapshot()
+        newest = InferredSchema.merge_newest([snapshot_0, snapshot_1])
+        assert newest is snapshot_1
+        assert newest.is_superset_of(snapshot_0)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(SchemaError):
+            InferredSchema.merge_newest([])
+
+    def test_snapshot_is_independent(self):
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim"})
+        frozen = schema.snapshot()
+        schema.observe({"id": 1, "name": "Ann", "new_field": 1})
+        assert frozen.field_name_id("new_field") is None
+        assert schema.field_name_id("new_field") is not None
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        schema = _employee_schema()
+        schema.observe(PAPER_FIGURE10_RECORD)
+        schema.observe_all(SIMPLE_RECORDS)
+        payload = schema.to_bytes()
+        restored = InferredSchema.from_bytes(payload, schema.datatype)
+        assert restored.structurally_equal(schema, compare_counters=True)
+        assert restored.version == schema.version
+        assert list(restored.dictionary.items()) == list(schema.dictionary.items())
+
+    def test_roundtrip_with_unions(self):
+        schema = _employee_schema()
+        schema.observe({"id": 0, "v": 1})
+        schema.observe({"id": 1, "v": "s"})
+        schema.observe({"id": 2, "v": [1.0]})
+        restored = InferredSchema.from_bytes(schema.to_bytes(), schema.datatype)
+        node = restored.root.child(restored.field_name_id("v"))
+        assert isinstance(node, UnionNode)
+        assert set(node.options) == {TypeTag.INT64, TypeTag.STRING, TypeTag.ARRAY}
+
+    def test_describe_contains_field_names(self):
+        schema = _employee_schema()
+        schema.observe({"id": 0, "name": "Kim", "age": 26})
+        text = schema.describe()
+        assert "name" in text and "age" in text
+
+
+class TestNodes:
+    def test_nodes_equal_ignores_counters_by_default(self):
+        left, right = ScalarNode(TypeTag.INT64, 5), ScalarNode(TypeTag.INT64, 9)
+        assert nodes_equal(left, right)
+        assert not nodes_equal(left, right, compare_counters=True)
+
+    def test_leaf_paths(self):
+        schema = _employee_schema()
+        schema.observe({"id": 1, "a": {"b": 2}, "c": [3.5]})
+        paths = dict(leaf_paths(schema.root, schema.dictionary))
+        assert paths[("a", "b")] is TypeTag.INT64
+        assert paths[("c", "[]")] is TypeTag.DOUBLE
+
+    def test_scalar_node_rejects_nested_tag(self):
+        with pytest.raises(SchemaError):
+            ScalarNode(TypeTag.OBJECT)
+
+    def test_collection_node_rejects_scalar_tag(self):
+        with pytest.raises(SchemaError):
+            CollectionNode(TypeTag.INT64)
+
+    def test_node_count(self):
+        schema = _employee_schema()
+        schema.observe({"id": 1, "a": {"b": 2}, "c": [3.5]})
+        # root + a + b + c + item
+        assert schema.root.node_count() == 5

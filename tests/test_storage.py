@@ -1,0 +1,296 @@
+"""Unit tests for the storage substrate: devices, files, cache, compression, WAL."""
+
+import pytest
+
+from repro.config import DeviceKind
+from repro.errors import BufferCacheFullError, PageNotFoundError, StorageError, WALError
+from repro.storage import (
+    BufferCache,
+    FileManager,
+    InMemoryFileManager,
+    LookAsideFile,
+    LogRecordType,
+    NoneCodec,
+    SimulatedStorageDevice,
+    WriteAheadLog,
+    ZlibCodec,
+    compress_page,
+    get_codec,
+)
+
+PAGE_SIZE = 1024
+
+
+def _make_cache(codec=None, capacity=8, device_kind=DeviceKind.NVME_SSD):
+    device = SimulatedStorageDevice(device_kind)
+    manager = InMemoryFileManager(device, PAGE_SIZE, codec)
+    return device, manager, BufferCache(manager, capacity)
+
+
+def _page(fill: int) -> bytes:
+    return bytes([fill % 256]) * PAGE_SIZE
+
+
+class TestSimulatedDevice:
+    def test_bandwidth_profiles_differ(self):
+        sata = SimulatedStorageDevice(DeviceKind.SATA_SSD)
+        nvme = SimulatedStorageDevice(DeviceKind.NVME_SSD)
+        sata.record_read(100 * 1024 * 1024)
+        nvme.record_read(100 * 1024 * 1024)
+        assert sata.simulated_read_seconds > nvme.simulated_read_seconds
+
+    def test_per_class_accounting(self):
+        device = SimulatedStorageDevice()
+        device.record_write(100, io_class="log")
+        device.record_write(50, io_class="data")
+        assert device.per_class["log"].bytes_written == 100
+        assert device.per_class["data"].bytes_written == 50
+        assert device.stats.bytes_written == 150
+
+    def test_snapshot_diff(self):
+        device = SimulatedStorageDevice()
+        device.record_read(10)
+        before = device.snapshot()
+        device.record_read(30)
+        delta = device.stats.diff(before)
+        assert delta.bytes_read == 30
+        assert delta.read_ops == 1
+
+    def test_simulated_seconds_monotonic_in_bytes(self):
+        device = SimulatedStorageDevice(DeviceKind.SATA_SSD)
+        device.record_write(10 * 1024 * 1024)
+        small = device.simulated_seconds()
+        device.record_write(100 * 1024 * 1024)
+        assert device.simulated_seconds() > small
+
+
+class TestCompression:
+    def test_zlib_roundtrip(self):
+        codec = ZlibCodec(level=1)
+        original = b"abc" * 500
+        compressed = codec.compress(original)
+        assert len(compressed) < len(original)
+        assert codec.decompress(compressed, len(original)) == original
+
+    def test_compress_page_keeps_incompressible_data(self):
+        import os
+
+        codec = ZlibCodec()
+        payload = os.urandom(PAGE_SIZE)
+        stored, was_compressed = compress_page(codec, payload)
+        assert not was_compressed
+        assert stored == payload
+
+    def test_get_codec_registry(self):
+        assert isinstance(get_codec(None), NoneCodec)
+        assert isinstance(get_codec("zlib"), ZlibCodec)
+        assert isinstance(get_codec("snappy"), ZlibCodec)  # offline stand-in
+        with pytest.raises(StorageError):
+            get_codec("lz77-madeup")
+
+    def test_bad_zlib_level_rejected(self):
+        with pytest.raises(StorageError):
+            ZlibCodec(level=42)
+
+
+class TestLookAsideFile:
+    def test_sequential_entries_and_lookup(self):
+        laf = LookAsideFile()
+        laf.add_entry(0, 0, 100)
+        laf.add_entry(1, 100, 80)
+        assert laf.entry(1) == (100, 80)
+        assert laf.end_offset() == 180
+        assert len(laf) == 2
+
+    def test_out_of_order_append_rejected(self):
+        laf = LookAsideFile()
+        with pytest.raises(StorageError):
+            laf.add_entry(3, 0, 10)
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(StorageError):
+            LookAsideFile().entry(0)
+
+    def test_entry_size_matches_paper(self):
+        """The paper quotes 12-byte LAF entries (so 128KB holds 10,922)."""
+        from repro.storage import LAF_ENTRY_SIZE
+
+        assert LAF_ENTRY_SIZE == 12
+        assert (128 * 1024) // LAF_ENTRY_SIZE == 10922
+
+    def test_serialization_roundtrip(self):
+        laf = LookAsideFile()
+        for page_no in range(5):
+            laf.add_entry(page_no, page_no * 50, 50)
+        restored = LookAsideFile.from_bytes(laf.to_bytes())
+        assert [restored.entry(i) for i in range(5)] == [laf.entry(i) for i in range(5)]
+
+
+class TestFileManager:
+    def test_write_read_roundtrip(self):
+        _, manager, _ = _make_cache()
+        manager.create_file("component_1")
+        manager.write_page("component_1", 0, _page(1))
+        manager.write_page("component_1", 1, _page(2))
+        assert manager.read_page("component_1", 0) == _page(1)
+        assert manager.read_page("component_1", 1) == _page(2)
+        assert manager.num_pages("component_1") == 2
+
+    def test_wrong_page_size_rejected(self):
+        _, manager, _ = _make_cache()
+        manager.create_file("f")
+        with pytest.raises(StorageError):
+            manager.write_page("f", 0, b"short")
+
+    def test_nonsequential_write_rejected(self):
+        _, manager, _ = _make_cache()
+        manager.create_file("f")
+        with pytest.raises(StorageError):
+            manager.write_page("f", 3, _page(0))
+
+    def test_missing_page_raises(self):
+        _, manager, _ = _make_cache()
+        manager.create_file("f")
+        with pytest.raises(PageNotFoundError):
+            manager.read_page("f", 0)
+
+    def test_duplicate_create_rejected(self):
+        _, manager, _ = _make_cache()
+        manager.create_file("f")
+        with pytest.raises(StorageError):
+            manager.create_file("f")
+
+    def test_delete_file(self):
+        _, manager, _ = _make_cache()
+        manager.create_file("f")
+        manager.write_page("f", 0, _page(0))
+        manager.delete_file("f")
+        assert not manager.exists("f")
+        with pytest.raises(StorageError):
+            manager.read_page("f", 0)
+
+    def test_compressed_file_is_smaller(self):
+        _, plain_manager, _ = _make_cache(codec=None)
+        _, zipped_manager, _ = _make_cache(codec=ZlibCodec())
+        for manager in (plain_manager, zipped_manager):
+            manager.create_file("f")
+            for page_no in range(10):
+                manager.write_page("f", page_no, b"A" * PAGE_SIZE)
+        assert zipped_manager.file_size("f") < plain_manager.file_size("f")
+
+    def test_compressed_read_roundtrip(self):
+        _, manager, _ = _make_cache(codec=ZlibCodec())
+        manager.create_file("f")
+        pages = [bytes([i]) * PAGE_SIZE for i in range(5)]
+        for page_no, page in enumerate(pages):
+            manager.write_page("f", page_no, page)
+        for page_no, page in enumerate(pages):
+            assert manager.read_page("f", page_no) == page
+
+    def test_device_accounting(self):
+        device, manager, _ = _make_cache()
+        manager.create_file("f")
+        manager.write_page("f", 0, _page(7))
+        manager.read_page("f", 0)
+        assert device.stats.bytes_written == PAGE_SIZE
+        assert device.stats.bytes_read == PAGE_SIZE
+
+    def test_real_file_backend_roundtrip(self, tmp_path):
+        device = SimulatedStorageDevice()
+        manager = FileManager(str(tmp_path), device, PAGE_SIZE, ZlibCodec())
+        manager.create_file("data")
+        manager.write_page("data", 0, _page(3))
+        manager.write_page("data", 1, _page(4))
+        assert manager.read_page("data", 1) == _page(4)
+        manager.close()
+        assert (tmp_path / "data").exists()
+
+
+class TestBufferCache:
+    def test_hits_and_misses(self):
+        _, manager, cache = _make_cache()
+        manager.create_file("f")
+        cache.write_page("f", 0, _page(1))
+        cache.read_page("f", 0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+        cache.clear()
+        cache.read_page("f", 0)
+        assert cache.stats.misses == 1
+
+    def test_eviction_lru_order(self):
+        device, manager, cache = _make_cache(capacity=2)
+        manager.create_file("f")
+        for page_no in range(3):
+            cache.write_page("f", page_no, _page(page_no))
+        assert cache.resident_pages == 2
+        assert cache.stats.evictions == 1
+        before = device.stats.bytes_read
+        cache.read_page("f", 2)  # most recent: still cached
+        assert device.stats.bytes_read == before
+
+    def test_pinned_pages_not_evicted(self):
+        _, manager, cache = _make_cache(capacity=2)
+        manager.create_file("f")
+        cache.write_page("f", 0, _page(0))
+        cache.write_page("f", 1, _page(1))
+        cache.read_page("f", 0, pin=True)
+        cache.read_page("f", 1, pin=True)
+        with pytest.raises(BufferCacheFullError):
+            cache.write_page("f", 2, _page(2))
+        cache.unpin("f", 0)
+        cache.write_page("f", 3, _page(3))  # now eviction can proceed
+
+    def test_invalidate_file(self):
+        _, manager, cache = _make_cache()
+        manager.create_file("f")
+        cache.write_page("f", 0, _page(0))
+        cache.invalidate_file("f")
+        assert cache.resident_pages == 0
+
+    def test_compressed_pages_decompressed_in_cache(self):
+        _, manager, cache = _make_cache(codec=ZlibCodec())
+        manager.create_file("f")
+        page = b"B" * PAGE_SIZE
+        cache.write_page("f", 0, page)
+        cache.clear()
+        assert cache.read_page("f", 0) == page
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, key=1, payload=b"x")
+        wal.append(LogRecordType.DELETE, "ds", 0, key=2)
+        wal.append(LogRecordType.INSERT, "other", 1, key=3, payload=b"y")
+        replayed = list(wal.replay(dataset="ds", partition=0))
+        assert [record.key for record in replayed] == [1, 2]
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        first = wal.append(LogRecordType.INSERT, "ds", 0, key=1)
+        wal.append(LogRecordType.INSERT, "ds", 0, key=2)
+        wal.truncate(first.lsn)
+        assert [record.key for record in wal.replay()] == [2]
+        with pytest.raises(WALError):
+            wal.truncate(0)
+
+    def test_flush_markers_excluded_from_replay(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.FLUSH_START, "ds", 0)
+        wal.append(LogRecordType.INSERT, "ds", 0, key=1)
+        wal.append(LogRecordType.FLUSH_END, "ds", 0)
+        assert [record.key for record in wal.replay()] == [1]
+
+    def test_device_accounting(self):
+        device = SimulatedStorageDevice()
+        wal = WriteAheadLog(device)
+        wal.append(LogRecordType.INSERT, "ds", 0, key=1, payload=b"abc")
+        assert device.per_class["log"].bytes_written > 0
+
+    def test_drop_after_simulates_crash(self):
+        wal = WriteAheadLog()
+        record = wal.append(LogRecordType.INSERT, "ds", 0, key=1)
+        wal.append(LogRecordType.INSERT, "ds", 0, key=2)
+        wal.drop_after(record.lsn)
+        assert [r.key for r in wal.replay()] == [1]

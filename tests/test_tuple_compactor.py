@@ -1,0 +1,198 @@
+"""Tests for the tuple compactor attached to the LSM flush lifecycle."""
+
+import pytest
+
+from repro.config import DatasetConfig, LSMConfig, StorageFormat
+from repro.core import Dataset, StorageEnvironment, TupleCompactor
+from repro.lsm import LSMBTree, NoMergePolicy
+from repro.schema import InferredSchema
+from repro.storage import BufferCache, InMemoryFileManager, SimulatedStorageDevice
+from repro.types import TypeTag, deep_equals, open_only_primary_key
+from repro.vector import VectorEncoder, is_compacted
+
+
+def _compacting_index(memory_budget=1 << 20, maintain_pk=True):
+    device = SimulatedStorageDevice()
+    cache = BufferCache(InMemoryFileManager(device, 2048), 512)
+    datatype = open_only_primary_key("EmployeeType")
+    compactor = TupleCompactor(datatype)
+    index = LSMBTree("emp", 0, cache, memory_budget, NoMergePolicy(), compactor,
+                     maintain_primary_key_index=maintain_pk)
+    encoder = VectorEncoder(datatype)
+    return index, compactor, encoder
+
+
+def _insert(index, encoder, record):
+    index.insert(record["id"], record, encoder.encode(record))
+
+
+def _upsert(index, encoder, record):
+    index.upsert(record["id"], record, encoder.encode(record))
+
+
+class TestFlushTimeInference:
+    def test_paper_figure9_flow(self):
+        """Reproduces Figure 9: two flushes and the union-typed age field."""
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 0, "name": "Kim", "age": 26})
+        _insert(index, encoder, {"id": 1, "name": "John", "age": 22})
+        index.flush()
+        schema_after_c0 = index.components[0].schema
+        age = schema_after_c0.root.child(schema_after_c0.field_name_id("age"))
+        assert age.tag is TypeTag.INT64
+
+        _insert(index, encoder, {"id": 2, "name": "Ann"})
+        _insert(index, encoder, {"id": 3, "name": "Bob", "age": "old"})
+        index.flush()
+        schema_after_c1 = index.components[0].schema
+        age = schema_after_c1.root.child(schema_after_c1.field_name_id("age"))
+        assert age.tag is TypeTag.UNION
+        assert set(age.options) == {TypeTag.INT64, TypeTag.STRING}
+        # the newer schema is a superset of the older one
+        assert schema_after_c1.is_superset_of(schema_after_c0)
+
+    def test_records_on_disk_are_compacted(self):
+        index, compactor, encoder = _compacting_index()
+        record = {"id": 1, "name": "Ann", "tags": ["a", "b"], "profile": {"followers": 10}}
+        _insert(index, encoder, record)
+        index.flush()
+        entry = index.components[0].search(1)
+        assert is_compacted(entry.value)
+        assert len(entry.value) < len(encoder.encode(record))
+        decoded = compactor.decode_record(entry.value, index.components[0].schema)
+        assert deep_equals(decoded, record)
+
+    def test_memtable_records_stay_uncompacted(self):
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 1, "name": "Ann"})
+        result = index.search(1)
+        assert result.from_memory
+        assert not is_compacted(result.payload)
+
+    def test_schema_persisted_in_metadata(self):
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 1, "name": "Ann", "age": 30})
+        index.flush()
+        metadata = index.components[0].metadata
+        restored = InferredSchema.from_bytes(metadata.schema_bytes, compactor.datatype)
+        assert restored.field_name_id("name") is not None
+        assert restored.structurally_equal(compactor.schema)
+
+    def test_merge_keeps_most_recent_schema(self):
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 0, "name": "Kim", "age": 26})
+        index.flush()
+        _insert(index, encoder, {"id": 3, "name": "Bob", "age": "old", "extra": True})
+        index.flush()
+        newest_schema = index.components[0].schema
+        merged = index.merge(list(index.components))
+        assert merged.schema is newest_schema
+        restored = InferredSchema.from_bytes(merged.metadata.schema_bytes, compactor.datatype)
+        assert restored.structurally_equal(newest_schema)
+
+    def test_flush_counts_tracked(self):
+        index, compactor, encoder = _compacting_index()
+        for key in range(4):
+            _insert(index, encoder, {"id": key, "name": f"user{key}"})
+        index.flush()
+        assert compactor.flush_count == 1
+        assert compactor.records_compacted == 4
+        assert compactor.bytes_saved > 0
+
+
+class TestDeleteAndUpsertMaintenance:
+    def test_delete_decrements_schema(self):
+        """Figure 10 -> Figure 11: deleting the only rich record prunes the schema."""
+        index, compactor, encoder = _compacting_index()
+        rich = {"id": 1, "name": "Ann", "dependents": [{"name": "Bob", "age": 6}],
+                "branch": "HQ"}
+        _insert(index, encoder, rich)
+        for key in range(2, 7):
+            _insert(index, encoder, {"id": key, "name": f"user{key}"})
+        index.flush()
+        assert compactor.schema.field_count == 3  # name, dependents, branch
+
+        index.delete(1)
+        index.flush()
+        assert compactor.schema.field_count == 1
+        assert compactor.schema.field_name_id("name") is not None
+        remaining = compactor.schema.root.child(compactor.schema.field_name_id("name"))
+        assert remaining.counter == 5
+
+    def test_union_collapses_after_deleting_heterogeneous_record(self):
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 0, "name": "Kim", "age": 26})
+        _insert(index, encoder, {"id": 3, "name": "Bob", "age": "old"})
+        index.flush()
+        age = compactor.schema.root.child(compactor.schema.field_name_id("age"))
+        assert age.tag is TypeTag.UNION
+        index.delete(3)
+        index.flush()
+        age = compactor.schema.root.child(compactor.schema.field_name_id("age"))
+        assert age.tag is TypeTag.INT64
+
+    def test_upsert_carries_antischema_of_old_version(self):
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 1, "name": "Ann", "old_field": 1})
+        index.flush()
+        assert compactor.schema.field_name_id("old_field") is not None
+        _upsert(index, encoder, {"id": 1, "name": "Ann", "new_field": "x"})
+        index.flush()
+        root = compactor.schema.root
+        assert root.child(compactor.schema.field_name_id("old_field")) is None
+        assert compactor.schema.field_name_id("new_field") is not None
+
+    def test_upsert_of_new_key_needs_no_decrement(self):
+        index, compactor, encoder = _compacting_index()
+        _upsert(index, encoder, {"id": 10, "name": "New"})
+        index.flush()
+        assert compactor.schema.root.counter == 1
+
+    def test_delete_of_memtable_only_record(self):
+        """Insert+delete inside one memtable never touches the schema."""
+        index, compactor, encoder = _compacting_index()
+        _insert(index, encoder, {"id": 1, "name": "Ann", "only_here": True})
+        index.delete(1)
+        index.flush()
+        assert compactor.schema.field_name_id("only_here") is None
+        assert index.search(1) is None
+
+    def test_pk_index_limits_lookups_for_fresh_keys(self):
+        index, compactor, encoder = _compacting_index(maintain_pk=True)
+        for key in range(20):
+            _insert(index, encoder, {"id": key, "name": f"u{key}"})
+        index.flush()
+        before = index.stats.maintenance_point_lookups
+        _upsert(index, encoder, {"id": 1000, "name": "fresh"})
+        assert index.stats.maintenance_point_lookups == before  # pk index said "absent"
+        _upsert(index, encoder, {"id": 3, "name": "existing"})
+        assert index.stats.maintenance_point_lookups == before + 1
+
+
+class TestCompactorRecovery:
+    def test_schema_reloaded_from_newest_valid_component(self):
+        from repro.lsm import recover_index
+
+        device = SimulatedStorageDevice()
+        cache = BufferCache(InMemoryFileManager(device, 2048), 512)
+        datatype = open_only_primary_key("EmployeeType")
+        encoder = VectorEncoder(datatype)
+
+        compactor = TupleCompactor(datatype)
+        index = LSMBTree("emp", 0, cache, 1 << 20, NoMergePolicy(), compactor)
+        index.insert(0, {"id": 0, "name": "Kim"}, encoder.encode({"id": 0, "name": "Kim"}))
+        index.flush()
+        index.insert(1, {"id": 1, "name": "Ann", "age": 5},
+                     encoder.encode({"id": 1, "name": "Ann", "age": 5}))
+        index.flush()
+
+        fresh_compactor = TupleCompactor(datatype)
+        fresh = LSMBTree("emp", 0, cache, 1 << 20, NoMergePolicy(), fresh_compactor)
+        report = recover_index(fresh, datatype=datatype)
+        assert report.schema_loaded
+        assert fresh_compactor.schema.field_name_id("age") is not None
+        assert fresh_compactor.schema.field_name_id("name") is not None
+        # recovered index can still decode its compacted records
+        entry = fresh.search(1)
+        decoded = fresh_compactor.decode_record(entry.payload, fresh.components[0].schema)
+        assert decoded["age"] == 5
