@@ -19,6 +19,7 @@ from harness import (
     check_compression_reduces_io,
     check_io_correlates_with_storage,
     check_results_agree,
+    check_sqlpp_parity,
     print_table,
     query_figure,
     run_query,
@@ -37,6 +38,7 @@ def test_fig20_sensors_queries(benchmark):
     check_io_correlates_with_storage("sensors", measurements, QUERY_NAMES)
     check_compression_reduces_io("sensors", measurements, QUERY_NAMES)
     check_results_agree(measurements, QUERY_NAMES)
+    check_sqlpp_parity("sensors", QUERY_NAMES)
 
 
 def test_fig20_selective_q4_interaction(benchmark):

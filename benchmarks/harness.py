@@ -251,6 +251,24 @@ def check_compression_reduces_io(workload: str, measurements: Dict, queries: Ite
                         compressed < raw)
 
 
+def check_sqlpp_parity(workload: str, queries: Iterable[str],
+                       format_name: str = "inferred") -> None:
+    """The workload's SQL++ query texts compile to plans whose output matches
+    the fluent-builder plans' output on the same dataset (Appendix A texts)."""
+    from repro.sqlpp import compile as compile_sqlpp
+
+    generator = GENERATORS[workload]
+    built = build_dataset(workload, format_name)
+    executor = QueryExecutor()
+    for query_name in queries:
+        builder_rows = executor.execute(built.dataset,
+                                        generator.QUERIES[query_name]()).rows
+        sqlpp_rows = executor.execute(built.dataset,
+                                      compile_sqlpp(generator.SQLPP[query_name]).spec).rows
+        shape_check(f"{workload} {query_name}: SQL++ text and builder plan agree",
+                    builder_rows == sqlpp_rows)
+
+
 def check_results_agree(measurements: Dict, queries: Iterable[str],
                         formats: Sequence[str] = ("open", "closed", "inferred")) -> None:
     """All configurations must return the same number of rows for each query."""

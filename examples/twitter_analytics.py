@@ -58,9 +58,13 @@ def main() -> None:
 
     executor = QueryExecutor(cold_cache=True)
     for query_name in ("Q2", "Q3"):
+        # The queries run from their Appendix A SQL++ text: Dataset.query()
+        # compiles the string through repro.sqlpp into the same plan the
+        # fluent builder (twitter.QUERIES) produces.
         print(f"== Twitter {query_name} ==")
+        print("   " + " ".join(twitter.SQLPP[query_name].split()))
         for label, dataset in datasets.items():
-            result = executor.execute(dataset, twitter.QUERIES[query_name]())
+            result = dataset.query(twitter.SQLPP[query_name], executor=executor)
             stats = result.stats
             print(f"  {label:45s} wall={stats.wall_seconds:6.3f}s "
                   f"simulated-io={stats.simulated_io_seconds:6.3f}s rows={len(result.rows)}")

@@ -16,6 +16,10 @@ The package implements, from scratch and in Python:
   benchmark harness that regenerates every table and figure of the paper's
   evaluation section.
 
+* a SQL++ text front-end (lexer, recursive-descent parser, AST, binder)
+  compiling query strings into the same executable plans the fluent builder
+  produces.
+
 Quick start::
 
     from repro import Dataset, StorageFormat
@@ -24,6 +28,8 @@ Quick start::
     dataset.insert({"id": 1, "name": "Ann", "age": 26})
     dataset.flush_all()
     print(dataset.describe_schema())
+    for row in dataset.query("SELECT e.name AS name FROM Employee AS e WHERE e.age < 30"):
+        print(row)
 """
 
 from .config import (
@@ -35,7 +41,9 @@ from .config import (
     StorageFormat,
 )
 from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
-from .errors import ReproError
+from .errors import ReproError, SqlppError
+from .sqlpp import CompiledQuery, parse, unparse
+from .sqlpp import compile as compile_sqlpp
 from .schema import InferredSchema
 from .types import (
     ADate,
@@ -65,6 +73,11 @@ __all__ = [
     "TupleCompactor",
     "InferredSchema",
     "ReproError",
+    "SqlppError",
+    "parse",
+    "unparse",
+    "compile_sqlpp",
+    "CompiledQuery",
     "TypeTag",
     "Datatype",
     "FieldDeclaration",

@@ -135,6 +135,35 @@ class Dataset:
     def count(self) -> int:
         return sum(partition.record_count() for partition in self.partitions)
 
+    # ------------------------------------------------------------------ SQL++
+
+    def query(self, text: str, executor: Optional[Any] = None, **executor_options):
+        """Compile and run a SQL++ query string against this dataset.
+
+        The text is compiled by :mod:`repro.sqlpp` into the same
+        :class:`~repro.query.plan.QuerySpec` the fluent builder produces and
+        executed with a :class:`~repro.query.QueryExecutor` (a fresh one per
+        call unless ``executor`` is given; ``executor_options`` — e.g.
+        ``cold_cache=True`` — configure the fresh one).  Returns the
+        executor's :class:`~repro.query.QueryResult`.  Malformed queries
+        raise :class:`~repro.errors.SqlppError` with line/column info.
+
+        The FROM clause's dataset name is deliberately *not* matched against
+        this dataset's name: the paper's query texts say ``FROM Tweets``
+        while benchmark datasets carry configuration-mangled names, so the
+        name acts purely as documentation and the alias binds to whatever
+        dataset the method is called on.
+        """
+        from ..query.executor import QueryExecutor
+        from ..sqlpp import compile as compile_sqlpp
+
+        compiled = compile_sqlpp(text)
+        if executor is None:
+            executor = QueryExecutor(**executor_options)
+        elif executor_options:
+            raise DatasetError("pass either a prebuilt executor or executor options, not both")
+        return executor.execute(self, compiled.spec)
+
     # ------------------------------------------------------------------ secondary indexes
 
     def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:

@@ -137,3 +137,29 @@ QUERIES = {
     "Q3": q3_top_sensors_by_avg,
     "Q4": q4_top_sensors_one_day,
 }
+
+#: SQL++ text versions of the same queries (Q4 at its default window);
+#: tests/test_sqlpp_parity.py asserts result parity with ``QUERIES``.
+SQLPP = {
+    "Q1": "SELECT VALUE count(*) FROM Sensors AS s UNNEST s.readings AS r",
+    "Q2": """
+        SELECT max(r.temp) AS max_temp, min(r.temp) AS min_temp
+        FROM Sensors AS s UNNEST s.readings AS r
+    """,
+    "Q3": """
+        SELECT sid, avg(r.temp) AS avg_temp
+        FROM Sensors AS s UNNEST s.readings AS r
+        GROUP BY s.sensor_id AS sid
+        ORDER BY avg_temp DESC
+        LIMIT 10
+    """,
+    "Q4": f"""
+        SELECT sid, avg(r.temp) AS avg_temp
+        FROM Sensors AS s UNNEST s.readings AS r
+        WHERE s.report_time > {REPORT_TIME_BASE - 1}
+          AND s.report_time < {REPORT_TIME_BASE - 1 + 2 * REPORT_INTERVAL_MS}
+        GROUP BY s.sensor_id AS sid
+        ORDER BY avg_temp DESC
+        LIMIT 10
+    """,
+}

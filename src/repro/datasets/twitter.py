@@ -173,3 +173,26 @@ QUERIES = {
     "Q3": q3_top_users_with_hashtag,
     "Q4": q4_order_by_timestamp,
 }
+
+#: The same four queries as SQL++ text (Appendix A.1 verbatim, modulo the
+#: dataset name).  ``repro.sqlpp`` compiles each to a plan equivalent to its
+#: ``QUERIES`` twin — tests/test_sqlpp_parity.py asserts result parity.
+SQLPP = {
+    "Q1": "SELECT VALUE count(*) FROM Tweets AS t",
+    "Q2": """
+        SELECT uname, avg(length(t.text)) AS a
+        FROM Tweets AS t
+        GROUP BY t.user.name AS uname
+        ORDER BY a DESC
+        LIMIT 10
+    """,
+    "Q3": """
+        SELECT uname, count(*) AS c
+        FROM Tweets AS t
+        WHERE SOME ht IN t.entities.hashtags SATISFIES lowercase(ht.text) = 'jobs'
+        GROUP BY t.user.name AS uname
+        ORDER BY c DESC
+        LIMIT 10
+    """,
+    "Q4": "SELECT * FROM Tweets AS t ORDER BY t.timestamp_ms",
+}

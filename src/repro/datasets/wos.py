@@ -223,3 +223,48 @@ QUERIES = {
     "Q3": q3_us_collaborators,
     "Q4": q4_country_pairs,
 }
+
+_ADDRESS_SQLPP = "t." + ".".join(_ADDRESS_PATH)
+_SUBJECT_SQLPP = "t." + ".".join(_SUBJECT_PATH)
+
+#: SQL++ text versions of the same queries.  ``[*]`` is the wildcard path
+#: step the engine's record views understand (the paper's consolidated
+#: ``getValues`` shape); ``array_pairs`` is the workload-registered function
+#: above.  tests/test_sqlpp_parity.py asserts result parity with ``QUERIES``.
+SQLPP = {
+    "Q1": "SELECT VALUE count(*) FROM Publications AS t",
+    "Q2": f"""
+        SELECT v, count(*) AS cnt
+        FROM Publications AS t
+        UNNEST {_SUBJECT_SQLPP} AS subject
+        WHERE subject.ascatype = 'extended'
+        GROUP BY subject.value AS v
+        ORDER BY cnt DESC
+        LIMIT 10
+    """,
+    "Q3": f"""
+        SELECT country, count(*) AS cnt
+        FROM Publications AS t
+        LET countries = array_distinct({_ADDRESS_SQLPP}[*].address_spec.country)
+        UNNEST countries AS country
+        WHERE is_array({_ADDRESS_SQLPP})
+          AND array_count(countries) > 1
+          AND array_contains(countries, 'USA')
+          AND country != 'USA'
+        GROUP BY country
+        ORDER BY cnt DESC
+        LIMIT 10
+    """,
+    "Q4": f"""
+        SELECT pair, count(*) AS cnt
+        FROM Publications AS t
+        LET countries = array_distinct({_ADDRESS_SQLPP}[*].address_spec.country),
+            pairs = array_pairs(countries)
+        UNNEST pairs AS pair
+        WHERE is_array({_ADDRESS_SQLPP})
+          AND array_count(countries) > 1
+        GROUP BY pair
+        ORDER BY cnt DESC
+        LIMIT 10
+    """,
+}

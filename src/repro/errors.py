@@ -83,6 +83,28 @@ class QueryError(ReproError):
     """A query plan could not be built or executed."""
 
 
+class SqlppError(QueryError):
+    """A SQL++ query string could not be lexed, parsed, or bound.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position and,
+    when available, the ``token`` text found there, so callers (and tests) can
+    point at the exact spot in the query string.
+    """
+
+    def __init__(self, message: str, line: int, column: int,
+                 token: "str | None" = None) -> None:
+        location = f"line {line}, column {column}"
+        if token:
+            detail = f"{location}: {message} (at {token!r})"
+        else:
+            detail = f"{location}: {message}"
+        super().__init__(detail)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.token = token
+
+
 class OptimizerError(QueryError):
     """An optimizer rewrite produced or encountered an invalid plan."""
 

@@ -10,6 +10,7 @@ from .expressions import (
     Expr,
     FieldAccess,
     Func,
+    IsTest,
     Literal,
     Not,
     Or,
@@ -42,6 +43,7 @@ __all__ = [
     "Or",
     "Not",
     "Arithmetic",
+    "IsTest",
     "Func",
     "Exists",
     "field",

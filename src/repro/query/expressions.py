@@ -194,6 +194,42 @@ class Not(Expr):
         return not value
 
 
+class IsTest(Expr):
+    """SQL++ ``IS [NOT] NULL | MISSING | UNKNOWN`` membership tests.
+
+    Unlike comparisons, IS tests never propagate MISSING — they exist to
+    *observe* absence, so they always return a boolean (``missing IS NULL``
+    is false here: NULL and MISSING stay distinguishable, which is what the
+    tuple compactor's MISSING-vs-NULL storage distinction relies on).
+    """
+
+    KINDS = ("null", "missing", "unknown")
+
+    def __init__(self, operand: Expr, kind: str, negated: bool = False) -> None:
+        if kind not in self.KINDS:
+            raise QueryError(f"unknown IS test {kind!r}")
+        self.operand = operand
+        self.kind = kind
+        self.negated = negated
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        value = self.operand.evaluate(env)
+        if self.kind == "null":
+            result = value is None
+        elif self.kind == "missing":
+            result = isinstance(value, Missing)
+        else:
+            result = is_absent(value)
+        return not result if self.negated else result
+
+    def __repr__(self) -> str:
+        negation = "NOT " if self.negated else ""
+        return f"({self.operand!r} IS {negation}{self.kind.upper()})"
+
+
 class Arithmetic(Expr):
     _OPS = {
         "+": lambda a, b: a + b,

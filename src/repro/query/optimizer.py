@@ -38,6 +38,7 @@ from .expressions import (
     Expr,
     FieldAccess,
     Func,
+    IsTest,
     Literal,
     Not,
     Or,
@@ -154,6 +155,13 @@ class Optimizer:
                     # an Exists iterating the same item var re-binds it; skip pushdown
                     if node.item_var == item_var:
                         return False
+                if isinstance(node, IsTest) and any(
+                        isinstance(sub, FieldAccess) and sub.source == item_var
+                        for sub in node.walk()):
+                    # IS MISSING/NULL observes *absence*, but wildcard
+                    # extraction only emits present values — pushing the
+                    # access down would silently invert the test.
+                    return False
         return self._item_paths(spec, item_var) != set()
 
     def _item_paths(self, spec: QuerySpec, item_var: str) -> Set[Path]:
@@ -194,7 +202,11 @@ def _rewrite_expr(expr: Expr, record_var: str) -> Expr:
             }
             direct_uses = any(isinstance(node, Var) and node.name == item_var
                               for node in predicate.walk())
-            if len(item_paths) == 1 and not direct_uses:
+            # IS tests observe absence; extraction drops absent entries, so a
+            # rewritten predicate would see a different collection (see
+            # _can_push_down).  Leave such EXISTS un-rewritten.
+            has_is_test = any(isinstance(node, IsTest) for node in predicate.walk())
+            if len(item_paths) == 1 and not direct_uses and not has_is_test:
                 (item_path,) = item_paths
                 new_collection = FieldAccess(record_var, collection.path + ("*",) + item_path)
                 new_predicate = _substitute_access(predicate, item_var, item_path)

@@ -1,0 +1,60 @@
+"""SQL++ text front-end: lexer, parser, AST, and binder.
+
+Compiles query strings covering the paper's SQL++ dialect (Appendix A) into
+the engine's :class:`~repro.query.plan.QuerySpec`, so textual queries run
+through the same optimizer rewrites and partitioned executor as
+builder-constructed plans::
+
+    from repro import Dataset, StorageFormat
+
+    tweets = Dataset.create("Tweets", StorageFormat.INFERRED)
+    tweets.insert({"id": 1, "user": {"name": "ann"}, "text": "hello"})
+    result = tweets.query("SELECT VALUE count(*) FROM Tweets AS t")
+
+or, staying at the compiler level::
+
+    from repro.sqlpp import compile as compile_sqlpp
+
+    compiled = compile_sqlpp('''
+        SELECT uname, count(*) AS c
+        FROM Tweets AS t
+        WHERE SOME ht IN t.entities.hashtags SATISFIES lowercase(ht.text) = 'jobs'
+        GROUP BY t.user.name AS uname
+        ORDER BY c DESC LIMIT 10
+    ''')
+    executor.execute(dataset, compiled.spec)
+
+Malformed queries raise :class:`~repro.errors.SqlppError` with the 1-based
+line/column (and offending token) of the failure — from the lexer, the
+recursive-descent parser, and the binder alike.
+"""
+
+from ..errors import SqlppError
+from . import ast
+from .ast import unparse, unparse_expr
+from .binder import Binder, CompiledQuery, bind
+from .lexer import Lexer, Token, tokenize
+from .parser import Parser, parse, parse_expression
+
+
+def compile(text: str) -> CompiledQuery:  # noqa: A001 - mirrors the stdlib name on purpose
+    """Compile a SQL++ query string into an executable :class:`CompiledQuery`."""
+    return bind(parse(text))
+
+
+__all__ = [
+    "SqlppError",
+    "Token",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "ast",
+    "unparse",
+    "unparse_expr",
+    "Binder",
+    "CompiledQuery",
+    "bind",
+    "compile",
+]

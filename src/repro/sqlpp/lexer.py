@@ -1,0 +1,196 @@
+"""Hand-written SQL++ lexer with precise source positions.
+
+Tokenizes the slice of SQL++ the paper's queries use (Appendix A):
+keywords, identifiers, string/number literals, comparison and arithmetic
+operators, path punctuation (``.``, ``[``, ``]``), and ``--`` line /
+``/* */`` block comments.  Every token carries its 1-based line and column
+so downstream errors (parser and binder alike) can point at the exact spot
+in the query string — the :class:`~repro.errors.SqlppError` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..errors import SqlppError
+
+#: Reserved words.  Matched case-insensitively; the canonical (upper-case)
+#: spelling is stored as the token text.
+KEYWORDS = frozenset({
+    "SELECT", "VALUE", "FROM", "AS", "UNNEST", "LET", "WHERE",
+    "AND", "OR", "NOT", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT",
+    "SOME", "IN", "SATISFIES", "EXISTS",
+    "TRUE", "FALSE", "NULL", "MISSING", "IS", "UNKNOWN",
+})
+
+#: Multi-character operators, longest first so ``<=`` wins over ``<``.
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "<>")
+_ONE_CHAR_OPS = "=<>+-*/%()[],.;"
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'", '"': '"',
+            "/": "/", "b": "\b", "f": "\f"}
+
+
+@dataclass
+class Token:
+    """One lexical token; ``value`` holds the decoded literal payload."""
+
+    kind: str               # "keyword" | "ident" | "number" | "string" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+    value: Any = None
+
+    def matches(self, kind: str, text: Optional[str] = None) -> bool:
+        return self.kind == kind and (text is None or self.text == text)
+
+    def describe(self) -> str:
+        return "end of query" if self.kind == "eof" else repr(self.text)
+
+
+class Lexer:
+    """Single-pass scanner over a query string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ driver
+
+    def tokens(self) -> List[Token]:
+        result: List[Token] = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind == "eof":
+                return result
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.position >= len(self.source):
+            return Token("eof", "", self.line, self.column)
+        line, column = self.line, self.column
+        char = self.source[self.position]
+        if char.isalpha() or char == "_":
+            return self._word(line, column)
+        if char.isdigit():
+            return self._number(line, column)
+        if char in "'\"":
+            return self._string(line, column)
+        two = self.source[self.position:self.position + 2]
+        if two in _TWO_CHAR_OPS:
+            self._advance(2)
+            return Token("op", two, line, column)
+        if char in _ONE_CHAR_OPS:
+            self._advance(1)
+            return Token("op", char, line, column)
+        raise SqlppError(f"unexpected character {char!r}", line, column, char)
+
+    # ------------------------------------------------------------------ scanners
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.position
+        while (self.position < len(self.source)
+               and (self.source[self.position].isalnum() or self.source[self.position] == "_")):
+            self._advance(1)
+        text = self.source[start:self.position]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            # ``value`` keeps the original spelling: keywords may still appear
+            # as field names after '.' (e.g. ``subject.value``).
+            return Token("keyword", upper, line, column, value=text)
+        return Token("ident", text, line, column, value=text)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.position
+        self._digits()
+        is_float = False
+        if self._current() == "." and self._peek_at(1).isdigit():
+            is_float = True
+            self._advance(1)
+            self._digits()
+        if self._current() in "eE":
+            after = self._peek_at(1)
+            sign = 1 if after in "+-" else 0
+            if self.source[self.position + 1 + sign:self.position + 2 + sign].isdigit():
+                is_float = True
+                self._advance(1 + sign)
+                self._digits()
+        text = self.source[start:self.position]
+        return Token("number", text, line, column,
+                     value=float(text) if is_float else int(text))
+
+    def _string(self, line: int, column: int) -> Token:
+        quote = self.source[self.position]
+        self._advance(1)
+        pieces: List[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise SqlppError("unterminated string literal", line, column, quote)
+            char = self.source[self.position]
+            if char == quote:
+                self._advance(1)
+                break
+            if char == "\\":
+                escape = self._peek_at(1)
+                if escape not in _ESCAPES:
+                    raise SqlppError(f"unknown escape sequence \\{escape}",
+                                     self.line, self.column, "\\" + escape)
+                pieces.append(_ESCAPES[escape])
+                self._advance(2)
+                continue
+            pieces.append(char)
+            self._advance(1)
+        literal = "".join(pieces)
+        return Token("string", quote + literal + quote, line, column, value=literal)
+
+    def _digits(self) -> None:
+        while self._current().isdigit():
+            self._advance(1)
+
+    # ------------------------------------------------------------------ trivia
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            char = self.source[self.position]
+            if char in " \t\r\n":
+                self._advance(1)
+            elif self.source.startswith("--", self.position):
+                while self.position < len(self.source) and self.source[self.position] != "\n":
+                    self._advance(1)
+            elif self.source.startswith("/*", self.position):
+                line, column = self.line, self.column
+                self._advance(2)
+                while not self.source.startswith("*/", self.position):
+                    if self.position >= len(self.source):
+                        raise SqlppError("unterminated block comment", line, column, "/*")
+                    self._advance(1)
+                self._advance(2)
+            else:
+                return
+
+    # ------------------------------------------------------------------ cursor
+
+    def _current(self) -> str:
+        return self.source[self.position] if self.position < len(self.source) else "\0"
+
+    def _peek_at(self, offset: int) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else "\0"
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self.source[self.position] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.position += 1
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, raising :class:`SqlppError` on lexical errors."""
+    return Lexer(source).tokens()

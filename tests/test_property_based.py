@@ -10,7 +10,9 @@ Invariants covered:
 * the B+-tree bulk loader + reader agree with a plain dict/sorted-list
   oracle for random key sets;
 * the LSM index agrees with a dict oracle under random interleavings of
-  inserts, upserts, deletes, and flushes.
+  inserts, upserts, deletes, and flushes;
+* the SQL++ front-end round-trips: parse → unparse → parse is the identity
+  on randomly generated ASTs (expressions and whole queries).
 """
 
 import string
@@ -20,6 +22,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.adm import ADMDecoder, ADMEncoder
+from repro.sqlpp import ast as sqlast
+from repro.sqlpp import parse, parse_expression, unparse, unparse_expr
+from repro.sqlpp.lexer import KEYWORDS
 from repro.btree import BTree, BulkLoader, LeafEntry
 from repro.core import TupleCompactor
 from repro.lsm import LSMBTree, NoMergePolicy
@@ -141,6 +146,108 @@ class TestSchemaInvariants:
         schema.observe_all(records)
         restored = InferredSchema.from_bytes(schema.to_bytes())
         assert restored.structurally_equal(schema, compare_counters=True)
+
+
+# ---------------------------------------------------------------------------
+# SQL++ parse/unparse round trip
+# ---------------------------------------------------------------------------
+
+_sql_names = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from(string.ascii_lowercase),
+    st.text(alphabet=string.ascii_lowercase + string.digits + "_", max_size=8),
+).filter(lambda name: name.upper() not in KEYWORDS)
+
+_path_steps = st.lists(
+    st.one_of(_sql_names, st.integers(min_value=0, max_value=99), st.just("*")),
+    min_size=1, max_size=3).map(tuple)
+
+_sql_numbers = st.one_of(
+    st.integers(min_value=0, max_value=10 ** 9),
+    st.floats(min_value=0, allow_nan=False, allow_infinity=False, width=64)
+    .map(lambda value: 0.0 if value == 0 else value),  # repr(-0.0) would re-parse as NegExpr
+)
+
+_sql_leaves = st.one_of(
+    st.builds(sqlast.NumberLit, value=_sql_numbers),
+    st.builds(sqlast.StringLit, value=st.text(max_size=12)),
+    st.builds(sqlast.BoolLit, value=st.booleans()),
+    st.builds(sqlast.NullLit),
+    st.builds(sqlast.MissingLit),
+    st.builds(sqlast.Ident, name=_sql_names),
+    st.builds(sqlast.Path, base=st.builds(sqlast.Ident, name=_sql_names),
+              steps=_path_steps),
+)
+
+
+def _sql_exprs(children):
+    operands = st.lists(children, min_size=2, max_size=3).map(tuple)
+    return st.one_of(
+        st.builds(sqlast.BinOp,
+                  op=st.sampled_from(["=", "!=", "<", "<=", ">", ">=",
+                                      "+", "-", "*", "/", "%"]),
+                  left=children, right=children),
+        st.builds(sqlast.AndExpr, operands=operands),
+        st.builds(sqlast.OrExpr, operands=operands),
+        st.builds(sqlast.NotExpr, operand=children),
+        st.builds(sqlast.NegExpr, operand=children),
+        st.builds(sqlast.Call, name=_sql_names,
+                  args=st.lists(children, max_size=2).map(tuple)),
+        st.builds(sqlast.Quantified, var=_sql_names, collection=children,
+                  predicate=children),
+        st.builds(sqlast.ExistsExpr, operand=children),
+        st.builds(sqlast.IsTest, operand=children,
+                  kind=st.sampled_from(["null", "missing", "unknown"]),
+                  negated=st.booleans()),
+    )
+
+
+_sql_expr = st.recursive(_sql_leaves, _sql_exprs, max_leaves=12)
+
+_select_items = st.lists(
+    st.builds(sqlast.SelectItem, expr=_sql_expr,
+              alias=st.one_of(st.none(), _sql_names)),
+    min_size=1, max_size=3).map(tuple)
+
+_select_clauses = st.one_of(
+    st.builds(sqlast.SelectClause, kind=st.just("star")),
+    st.builds(sqlast.SelectClause, kind=st.just("value"), value=_sql_expr),
+    st.builds(sqlast.SelectClause, kind=st.just("items"), items=_select_items),
+)
+
+_sql_queries = st.builds(
+    sqlast.Query,
+    select=_select_clauses,
+    from_clause=st.builds(sqlast.FromClause, dataset=_sql_names, alias=_sql_names),
+    lets=st.lists(st.builds(sqlast.LetClause, name=_sql_names, expr=_sql_expr),
+                  max_size=2).map(tuple),
+    unnests=st.lists(st.builds(sqlast.UnnestClause, collection=_sql_expr,
+                               alias=_sql_names), max_size=2).map(tuple),
+    where=st.one_of(st.none(), _sql_expr),
+    group_by=st.lists(st.builds(sqlast.GroupKey, expr=_sql_expr,
+                                alias=st.one_of(st.none(), _sql_names)),
+                      max_size=2).map(tuple),
+    order_by=st.lists(st.builds(sqlast.OrderItem, expr=_sql_expr,
+                                descending=st.booleans()), max_size=2).map(tuple),
+    limit=st.one_of(st.none(),
+                    st.builds(sqlast.NumberLit,
+                              value=st.integers(min_value=1, max_value=1000))),
+)
+
+
+class TestSqlppRoundTrip:
+    @_slow_settings
+    @given(expr=_sql_expr)
+    def test_expression_round_trip(self, expr):
+        assert parse_expression(unparse_expr(expr)) == expr
+
+    @_slow_settings
+    @given(query=_sql_queries)
+    def test_query_round_trip(self, query):
+        text = unparse(query)
+        assert parse(text) == query
+        # Idempotence: the canonical text is a fixed point of unparsing.
+        assert unparse(parse(text)) == text
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,317 @@
+"""Binder tests: AST → QuerySpec translation, scoping, and SQL++
+MISSING/NULL semantics exercised end-to-end through the text front-end.
+"""
+
+import pytest
+
+from repro import Dataset, StorageFormat, compile_sqlpp
+from repro.errors import SqlppError
+from repro.query import (
+    And,
+    Comparison,
+    Exists,
+    FieldAccess,
+    Func,
+    IsTest,
+    Literal,
+    QueryExecutor,
+    Var,
+)
+from repro.types import MISSING
+
+
+# ---------------------------------------------------------------------------
+# spec translation
+# ---------------------------------------------------------------------------
+
+class TestBinding:
+    def test_scan_projection_and_where(self):
+        compiled = compile_sqlpp(
+            "SELECT t.user.name AS uname FROM Tweets AS t WHERE t.lang = 'en'")
+        spec = compiled.spec
+        assert compiled.dataset == "Tweets"
+        assert spec.record_var == "t"
+        assert spec.projections == [("uname", spec.projections[0][1])]
+        projection = spec.projections[0][1]
+        assert isinstance(projection, FieldAccess)
+        assert projection.source == "t" and projection.path == ("user", "name")
+        assert isinstance(spec.where, Comparison) and spec.where.op == "="
+
+    def test_select_star_matches_builder_select_record(self):
+        spec = compile_sqlpp("SELECT * FROM T AS t").spec
+        name, expr = spec.projections[0]
+        assert name == "record" and isinstance(expr, Var) and expr.name == "t"
+
+    def test_select_value_count_star(self):
+        spec = compile_sqlpp("SELECT VALUE count(*) FROM T AS t").spec
+        assert len(spec.aggregates) == 1
+        aggregate = spec.aggregates[0]
+        assert (aggregate.output, aggregate.function, aggregate.argument) == \
+            ("count", "count", None)
+        assert spec.projections == []
+
+    def test_grouped_query_structure(self):
+        spec = compile_sqlpp("""
+            SELECT uname, avg(length(t.text)) AS a
+            FROM Tweets AS t
+            GROUP BY t.user.name AS uname
+            ORDER BY a DESC
+            LIMIT 10
+        """).spec
+        assert [name for name, _ in spec.group_keys] == ["uname"]
+        assert spec.aggregates[0].function == "avg"
+        assert isinstance(spec.aggregates[0].argument, Func)
+        assert spec.order_by[0].expr_or_column == "a"
+        assert spec.order_by[0].descending is True
+        assert spec.limit == 10
+
+    def test_select_alias_renames_group_key(self):
+        spec = compile_sqlpp("""
+            SELECT t.user.name AS who, count(*) AS c
+            FROM T AS t GROUP BY t.user.name
+        """).spec
+        assert [name for name, _ in spec.group_keys] == ["who"]
+
+    def test_group_alias_defaults_to_last_path_step(self):
+        spec = compile_sqlpp(
+            "SELECT name, count(*) AS c FROM T AS t GROUP BY t.user.name").spec
+        assert spec.group_keys[0][0] == "name"
+
+    def test_order_by_group_key_expression(self):
+        spec = compile_sqlpp("""
+            SELECT sid, count(*) AS c FROM T AS t
+            GROUP BY t.sensor_id AS sid ORDER BY t.sensor_id
+        """).spec
+        assert spec.order_by[0].expr_or_column == "sid"
+
+    def test_lets_unnests_and_scope(self):
+        spec = compile_sqlpp("""
+            SELECT VALUE count(*)
+            FROM T AS t
+            LET xs = array_distinct(t.tags[*].name)
+            UNNEST xs AS x
+            WHERE x != 'skip'
+        """).spec
+        assert spec.lets[0].name == "xs"
+        assert isinstance(spec.lets[0].expr, Func)
+        assert spec.unnests[0].item_var == "x"
+        assert isinstance(spec.unnests[0].collection, Var)
+
+    def test_quantifier_binds_exists(self):
+        spec = compile_sqlpp("""
+            SELECT * FROM T AS t
+            WHERE SOME ht IN t.entities.hashtags SATISFIES ht.text = 'jobs'
+        """).spec
+        assert isinstance(spec.where, Exists)
+        assert spec.where.item_var == "ht"
+
+    def test_exists_keyword_binds_nonempty_test(self):
+        spec = compile_sqlpp("SELECT * FROM T AS t WHERE EXISTS t.tags").spec
+        assert isinstance(spec.where, Comparison) and spec.where.op == ">"
+        assert isinstance(spec.where.left, Func) and spec.where.left.name == "array_count"
+
+    def test_function_aliases(self):
+        spec = compile_sqlpp("SELECT lower(t.x) AS v FROM T AS t").spec
+        assert spec.projections[0][1].name == "lowercase"
+
+    def test_negative_literal_folds(self):
+        spec = compile_sqlpp("SELECT * FROM T AS t WHERE t.x > -5").spec
+        right = spec.where.right
+        assert isinstance(right, Literal) and right.value == -5
+
+    def test_missing_literal_binds(self):
+        spec = compile_sqlpp("SELECT * FROM T AS t WHERE t.x = MISSING").spec
+        assert isinstance(spec.where.right, Literal)
+        assert spec.where.right.value is MISSING
+
+    def test_is_tests_bind(self):
+        spec = compile_sqlpp("SELECT * FROM T AS t WHERE t.x IS NOT MISSING").spec
+        assert isinstance(spec.where, IsTest)
+        assert spec.where.kind == "missing" and spec.where.negated
+
+
+# ---------------------------------------------------------------------------
+# binder errors carry positions
+# ---------------------------------------------------------------------------
+
+class TestBinderErrors:
+    @pytest.mark.parametrize("text,line,column,needle", [
+        ("SELECT * FROM T AS t\nWHERE u.x = 1", 2, 7, "unbound identifier 'u'"),
+        ("SELECT * FROM T AS t WHERE no_such_fn(t.x)", 1, 28, "unknown function"),
+        ("SELECT * FROM T AS t WHERE avg(t.x) > 1", 1, 28, "aggregate function"),
+        ("SELECT t.a, count(*) AS c FROM T AS t GROUP BY t.b", 1, 8,
+         "neither an aggregate nor a GROUP BY key"),
+        ("SELECT * FROM T AS t GROUP BY t.a", 1, 1, "SELECT \\*"),
+        ("SELECT a, count(*) AS c FROM T AS t GROUP BY t.x AS a ORDER BY t.y", 1, 64,
+         "must name an output column"),
+        ("SELECT x, count(*) AS c FROM T AS t GROUP BY t.n + 1", 1, 46, "needs an AS alias"),
+        ("SELECT VALUE t FROM T AS t LET t = 1", 1, 28, "already bound"),
+        ("SELECT VALUE count(*) FROM T AS t UNNEST t.xs AS t", 1, 35, "already bound"),
+        ("SELECT sum() AS s FROM T AS t", 1, 8, "needs an argument"),
+    ])
+    def test_positions(self, text, line, column, needle):
+        with pytest.raises(SqlppError, match=needle) as excinfo:
+            compile_sqlpp(text)
+        assert (excinfo.value.line, excinfo.value.column) == (line, column), \
+            str(excinfo.value)
+
+    def test_dataset_query_surfaces_sqlpp_error(self):
+        dataset = Dataset.create("T", StorageFormat.OPEN)
+        with pytest.raises(SqlppError):
+            dataset.query("SELECT * FROM T AS t WHERE")
+
+
+# ---------------------------------------------------------------------------
+# MISSING / NULL semantics through the text front-end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(params=[StorageFormat.OPEN, StorageFormat.INFERRED],
+                ids=["open", "inferred"])
+def sparse_dataset(request):
+    """Records where 'score' is present / NULL / absent (MISSING)."""
+    dataset = Dataset.create("Sparse", request.param)
+    dataset.insert({"id": 1, "name": "with", "score": 10})
+    dataset.insert({"id": 2, "name": "null", "score": None})
+    dataset.insert({"id": 3, "name": "absent"})
+    dataset.flush_all()
+    return dataset
+
+
+class TestMissingSemantics:
+    def test_predicates_on_absent_fields_drop_records(self, sparse_dataset):
+        rows = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE t.score > 0").rows
+        assert [row["name"] for row in rows] == ["with"]
+
+    def test_negated_predicate_still_drops_unknowns(self, sparse_dataset):
+        # NOT(MISSING) is MISSING, so neither the NULL nor the absent record
+        # passes — classic SQL++ three-valued logic.
+        rows = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE NOT t.score > 0").rows
+        assert rows == []
+
+    def test_is_missing_vs_is_null(self, sparse_dataset):
+        names = lambda rows: sorted(row["name"] for row in rows)
+        missing = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE t.score IS MISSING").rows
+        null = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE t.score IS NULL").rows
+        unknown = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE t.score IS UNKNOWN").rows
+        known = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE t.score IS NOT UNKNOWN").rows
+        assert names(missing) == ["absent"]
+        assert names(null) == ["null"]
+        assert names(unknown) == ["absent", "null"]
+        assert names(known) == ["with"]
+
+    def test_projecting_absent_field_yields_missing(self, sparse_dataset):
+        rows = sparse_dataset.query(
+            "SELECT t.score AS score FROM Sparse AS t WHERE t.name = 'absent'").rows
+        assert len(rows) == 1
+        assert rows[0]["score"] is MISSING or isinstance(rows[0]["score"], type(MISSING))
+
+    @pytest.mark.parametrize("consolidate", [True, False], ids=["optimized", "un-optimized"])
+    def test_is_missing_inside_quantifier_survives_pushdown(self, consolidate):
+        # The EXISTS pushdown rewrite must not change IS MISSING semantics:
+        # wildcard extraction drops absent entries, so the optimizer has to
+        # leave quantifiers with IS tests un-rewritten.
+        dataset = Dataset.create("Tweets", StorageFormat.INFERRED)
+        dataset.insert({"id": 1, "entities": {"hashtags": [{"tag": "x"}]}})   # no .text
+        dataset.insert({"id": 2, "entities": {"hashtags": [{"text": "jobs"}]}})
+        dataset.flush_all()
+        executor = QueryExecutor(consolidate_field_access=consolidate,
+                                 pushdown_through_unnest=consolidate)
+        rows = executor.execute(dataset, compile_sqlpp("""
+            SELECT t.id AS id FROM Tweets AS t
+            WHERE SOME ht IN t.entities.hashtags SATISFIES ht.text IS MISSING
+        """).spec).rows
+        assert [row["id"] for row in rows] == [1]
+
+    @pytest.mark.parametrize("consolidate", [True, False], ids=["optimized", "un-optimized"])
+    def test_is_missing_on_unnested_item_survives_pushdown(self, consolidate):
+        dataset = Dataset.create("Sensors", StorageFormat.INFERRED)
+        dataset.insert({"id": 1, "readings": [{"temp": 20.0}, {"flag": True}]})
+        dataset.flush_all()
+        executor = QueryExecutor(consolidate_field_access=consolidate,
+                                 pushdown_through_unnest=consolidate)
+        rows = executor.execute(dataset, compile_sqlpp("""
+            SELECT VALUE count(*) FROM Sensors AS s UNNEST s.readings AS r
+            WHERE r.temp IS MISSING
+        """).spec).rows
+        assert rows == [{"count": 1}]
+
+    def test_quantifier_over_missing_collection_is_false(self):
+        dataset = Dataset.create("Tweets", StorageFormat.INFERRED)
+        dataset.insert({"id": 1, "entities": {"hashtags": [{"text": "jobs"}]}})
+        dataset.insert({"id": 2})  # no entities at all (Twitter Q3 shape)
+        dataset.flush_all()
+        rows = dataset.query("""
+            SELECT VALUE count(*) FROM Tweets AS t
+            WHERE SOME ht IN t.entities.hashtags SATISFIES ht.text = 'jobs'
+        """).rows
+        assert rows == [{"count": 1}]
+
+    def test_exists_on_missing_collection_is_false(self, sparse_dataset):
+        rows = sparse_dataset.query(
+            "SELECT t.name AS name FROM Sparse AS t WHERE EXISTS t.tags").rows
+        assert rows == []
+
+    def test_aggregates_skip_unknowns(self, sparse_dataset):
+        rows = sparse_dataset.query("""
+            SELECT count(t.score) AS with_score, count(*) AS total,
+                   sum(t.score) AS total_score
+            FROM Sparse AS t
+        """).rows
+        assert rows == [{"with_score": 1, "total": 3, "total_score": 10}]
+
+    def test_group_keys_drop_missing_but_keep_null(self, sparse_dataset):
+        rows = sparse_dataset.query("""
+            SELECT score, count(*) AS c FROM Sparse AS t GROUP BY t.score AS score
+        """).rows
+        keys = sorted((repr(row["score"]) for row in rows))
+        # MISSING group key drops the record (SQL++), NULL is a real group.
+        assert len(rows) == 2 and "None" in keys
+
+
+# ---------------------------------------------------------------------------
+# executor integration
+# ---------------------------------------------------------------------------
+
+class TestDatasetQuery:
+    def test_query_returns_query_result_with_stats(self):
+        dataset = Dataset.create("T", StorageFormat.INFERRED, partitions=2)
+        dataset.insert_all({"id": i, "v": i % 5} for i in range(50))
+        dataset.flush_all()
+        result = dataset.query("SELECT VALUE count(*) FROM T AS t")
+        assert result.rows == [{"count": 50}]
+        assert result.stats.records_scanned == 50
+
+    def test_query_accepts_prebuilt_executor(self):
+        dataset = Dataset.create("T", StorageFormat.OPEN)
+        dataset.insert({"id": 1, "v": 2})
+        dataset.flush_all()
+        executor = QueryExecutor(cold_cache=True)
+        assert dataset.query("SELECT * FROM T AS t", executor=executor).rows
+
+    def test_query_rejects_executor_plus_options(self):
+        from repro.errors import DatasetError
+
+        dataset = Dataset.create("T", StorageFormat.OPEN)
+        with pytest.raises(DatasetError):
+            dataset.query("SELECT * FROM T AS t", executor=QueryExecutor(),
+                          cold_cache=True)
+
+    def test_consolidation_applies_to_text_queries(self):
+        # The optimizer's consolidation rewrite (paper §3.4.2) must see the
+        # bound plan exactly as it sees builder plans.
+        from repro.sqlpp import compile as compile_sqlpp_fn
+        from repro.query.optimizer import Optimizer
+
+        spec = compile_sqlpp_fn("""
+            SELECT VALUE count(*) FROM Tweets AS t
+            WHERE SOME ht IN t.entities.hashtags SATISFIES lowercase(ht.text) = 'jobs'
+        """).spec
+        plan = Optimizer().plan(spec, uses_vector_format=True)
+        assert plan.consolidate
+        assert ("entities", "hashtags", "*", "text") in plan.scan_paths
