@@ -18,7 +18,11 @@ The package implements, from scratch and in Python:
 
 * a SQL++ text front-end (lexer, recursive-descent parser, AST, binder)
   compiling query strings into the same executable plans the fluent builder
-  produces.
+  produces, plus ``CREATE INDEX`` DDL;
+* cost-based access-path selection: WHERE predicates over secondary-indexed
+  fields are routed through an index probe or a full scan, whichever the
+  device-profile cost model prices cheaper, with an ``explain()`` surface
+  showing the decision.
 
 Quick start::
 
@@ -42,7 +46,7 @@ from .config import (
 )
 from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
 from .errors import ReproError, SqlppError
-from .sqlpp import CompiledQuery, parse, unparse
+from .sqlpp import CompiledCreateIndex, CompiledQuery, parse, unparse
 from .sqlpp import compile as compile_sqlpp
 from .schema import InferredSchema
 from .types import (
@@ -78,6 +82,7 @@ __all__ = [
     "unparse",
     "compile_sqlpp",
     "CompiledQuery",
+    "CompiledCreateIndex",
     "TypeTag",
     "Datatype",
     "FieldDeclaration",

@@ -46,6 +46,20 @@ class BTree:
 
     # -- scans -------------------------------------------------------------------------
 
+    def first_entry(self) -> Optional[LeafEntry]:
+        """The smallest-keyed entry (one page read), or None for an empty tree."""
+        if self.info.is_empty:
+            return None
+        entries, _ = self._read_leaf(0)
+        return entries[0] if entries else None
+
+    def last_entry(self) -> Optional[LeafEntry]:
+        """The largest-keyed entry (one page read), or None for an empty tree."""
+        if self.info.is_empty:
+            return None
+        entries, _ = self._read_leaf(self.info.leaf_count - 1)
+        return entries[-1] if entries else None
+
     def scan_all(self) -> Iterator[LeafEntry]:
         """Yield every entry in key order by walking the leaf level."""
         for leaf_no in range(self.info.leaf_count):

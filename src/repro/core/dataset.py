@@ -72,8 +72,12 @@ class Dataset:
         from dataclasses import replace
 
         environment = environment or StorageEnvironment()
+        # Carry the environment's physical storage config into the dataset
+        # config so consumers (e.g. the access-path cost model) see the real
+        # device profile and page size, not the defaults.
         config = DatasetConfig(name=name, primary_key=primary_key, storage_format=storage_format,
-                               tuple_compactor_enabled=storage_format is StorageFormat.INFERRED)
+                               tuple_compactor_enabled=storage_format is StorageFormat.INFERRED,
+                               storage=environment.config)
         if config_overrides:
             config = replace(config, **config_overrides)
         return cls(config, [environment], partitions_per_environment=partitions, datatype=datatype)
@@ -135,6 +139,14 @@ class Dataset:
     def count(self) -> int:
         return sum(partition.record_count() for partition in self.partitions)
 
+    def approximate_record_count(self) -> int:
+        """Record count from component metadata only — no page reads.
+
+        Slightly over-counts keys that are shadowed across components; used
+        by the optimizer's cost model, which must not do I/O while planning.
+        """
+        return sum(partition.index.record_count() for partition in self.partitions)
+
     # ------------------------------------------------------------------ SQL++
 
     def query(self, text: str, executor: Optional[Any] = None, **executor_options):
@@ -154,21 +166,70 @@ class Dataset:
         name acts purely as documentation and the alias binds to whatever
         dataset the method is called on.
         """
-        from ..query.executor import QueryExecutor
+        from ..query.executor import ExecutionStats, QueryExecutor, QueryResult
+        from ..sqlpp import CompiledCreateIndex
         from ..sqlpp import compile as compile_sqlpp
 
         compiled = compile_sqlpp(text)
+        if isinstance(compiled, CompiledCreateIndex):
+            if executor is not None or executor_options:
+                raise DatasetError("CREATE INDEX does not take an executor")
+            self.create_index(compiled.index_name, compiled.field_path)
+            return QueryResult(rows=[], stats=ExecutionStats())
         if executor is None:
             executor = QueryExecutor(**executor_options)
         elif executor_options:
             raise DatasetError("pass either a prebuilt executor or executor options, not both")
         return executor.execute(self, compiled.spec)
 
+    def explain(self, query: Any, access_path: str = "auto") -> str:
+        """Render the plan (access path, pipeline, costs) without executing.
+
+        ``query`` is a SQL++ string or a prebuilt
+        :class:`~repro.query.plan.QuerySpec`; see :mod:`repro.query.explain`.
+        """
+        from ..query.explain import explain as explain_plan
+
+        return explain_plan(self, query, access_path=access_path)
+
     # ------------------------------------------------------------------ secondary indexes
 
-    def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:
+    def create_index(self, name: str, field_path: Any) -> None:
+        """``CREATE INDEX name ON <this dataset> (field.path)``.
+
+        ``field_path`` is a dotted string (``"user.followers_count"``) or a
+        sequence of steps.  Existing components are backfilled, so the index
+        may be created before or after data is loaded.
+        """
+        path = self._normalize_field_path(field_path)
+        if not path:
+            raise DatasetError("create_index needs a non-empty field path")
         for partition in self.partitions:
-            partition.create_secondary_index(name, field_path)
+            partition.create_secondary_index(name, path)
+
+    def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:
+        """Storage-level alias of :meth:`create_index` (kept for the benchmarks)."""
+        self.create_index(name, field_path)
+
+    def list_secondary_indexes(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """``(name, field_path)`` of every secondary index (same on all partitions)."""
+        return self.partitions[0].list_secondary_indexes()
+
+    def index_statistics(self, index_name: str):
+        """Dataset-wide field statistics of one index (partition stats merged)."""
+        merged = None
+        for partition in self.partitions:
+            statistics = partition.index_statistics(index_name)
+            if statistics is None:
+                continue
+            merged = statistics if merged is None else merged.merge(statistics)
+        return merged
+
+    @staticmethod
+    def _normalize_field_path(field_path: Any) -> Tuple[str, ...]:
+        if isinstance(field_path, str):
+            return tuple(step for step in field_path.split(".") if step)
+        return tuple(field_path)
 
     def secondary_range_search(self, index_name: str, low: Any, high: Any) -> List[Dict[str, Any]]:
         results: List[Dict[str, Any]] = []

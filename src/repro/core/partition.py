@@ -16,10 +16,23 @@ from ..config import DatasetConfig
 from ..lsm import LSMBTree, SecondaryIndexDef, make_merge_policy, recover_index
 from ..lsm.lifecycle import FlushCallback
 from ..schema import InferredSchema
-from ..types import Datatype
+from ..types import AMultiset, Datatype, Missing
 from .environment import StorageEnvironment
 from .formats import DictRecordView, RecordFormatCodec
 from .tuple_compactor import TupleCompactor
+
+
+def _indexable(value: Any) -> Any:
+    """The value a secondary index stores for a field, or None to skip it.
+
+    Absent (NULL/MISSING) and non-scalar values are not indexed — range
+    predicates over them are never true, so skipping them is lossless.
+    """
+    if value is None or isinstance(value, Missing):
+        return None
+    if isinstance(value, (dict, list, tuple, AMultiset)):
+        return None
+    return value
 
 
 class Partition:
@@ -106,29 +119,80 @@ class Partition:
 
     def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:
         codec = self.codec
+        field_path = tuple(field_path)
 
         def extractor(payload: bytes, schema: Optional[InferredSchema]) -> Any:
             view = codec.view(payload, schema)
             value = view.get_field(*field_path)
-            if value is None or isinstance(value, (dict, list)):
-                return None
-            from ..types import MISSING
-            if value is MISSING:
-                return None
-            return value
+            return _indexable(value)
 
-        self.index.add_secondary_index(SecondaryIndexDef(name=name, extractor=extractor))
+        self.index.add_secondary_index(
+            SecondaryIndexDef(name=name, extractor=extractor, field_path=field_path))
+
+    def list_secondary_indexes(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """``(name, field_path)`` of every secondary index on this partition."""
+        return [(definition.name, definition.field_path or ())
+                for definition in self.index.secondary_indexes]
+
+    def index_statistics(self, index_name: str):
+        """The named index's :class:`~repro.datasets.stats.FieldStatistics`,
+        aggregated over this partition's live components."""
+        return self.index.secondary_statistics(index_name)
 
     def secondary_range_search(self, index_name: str, low: Any, high: Any) -> List[Dict[str, Any]]:
-        """Range query through a secondary index: keys first, then records."""
-        keys = self.index.secondary_range_lookup(index_name, low, high)
-        keys.sort()
+        """Range query through a secondary index: keys first, then records.
+
+        Kept for the storage-level API; candidates whose *newest* version
+        drifted out of the range (an upsert after the indexing flush) are
+        re-checked here, and unflushed memtable records are swept in, so the
+        result matches a scan-with-predicate exactly.
+        """
+        definition = self.index.secondary_index_def(index_name)
+        field_path = definition.field_path or () if definition is not None else ()
         records = []
-        for key in keys:
-            record = self.search(key)
-            if record is not None:
-                records.append(record)
+        for view in self.probe_views(index_name, low, high):
+            value = _indexable(view.get_field(*field_path))
+            if value is None:
+                continue
+            try:
+                if (low is not None and value < low) or (high is not None and value > high):
+                    continue
+            except TypeError:
+                continue
+            records.append(view.materialize())
         return records
+
+    def probe_views(self, index_name: str, low: Any, high: Any,
+                    low_inclusive: bool = True, high_inclusive: bool = True) -> Iterator[Any]:
+        """Candidate record views for an index probe (the query engine's source).
+
+        Yields the newest version of every record the secondary index places
+        in the range, plus every live memtable record (the in-memory
+        component is not secondary-indexed, so it is swept wholesale — a
+        memory-only operation).  The stream is a *superset* of the true
+        answer: callers must re-apply the predicate, because an indexed key's
+        newest version may no longer satisfy it.
+        """
+        memtable_keys = set()
+        for entry in self.index.memory_component.sorted_entries():
+            memtable_keys.add(entry.key)
+            if entry.is_antimatter:
+                continue
+            if entry.record is not None:
+                yield DictRecordView(entry.record)
+            else:
+                yield self.codec.view(entry.encoded, self.current_schema())
+        keys = self.index.secondary_candidate_keys(index_name, low, high,
+                                                   low_inclusive, high_inclusive)
+        keys.sort()
+        for key in keys:
+            if key in memtable_keys:
+                continue  # the memtable sweep already yielded the newest version
+            disk = self.index._search_disk(key)
+            if disk is None:
+                continue
+            payload, component = disk
+            yield self.codec.view(payload, component.schema or self.current_schema())
 
     # ------------------------------------------------------------------ maintenance & stats
 

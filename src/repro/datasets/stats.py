@@ -7,16 +7,111 @@ computes the same summary for any iterable of records so the Table 1
 benchmark can print the scaled-down equivalents next to the paper's
 figures, and so tests can assert that the generators really have the
 structural properties the substitutions in DESIGN.md promise.
+
+:class:`FieldStatistics` is the second, per-field kind of statistic: a
+min/max/count summary of one indexed field's values, maintained by the LSM
+secondary indexes as they build and consumed by the query optimizer's cost
+model to estimate range-predicate selectivities (uniform-distribution
+interpolation for numeric fields, a conservative default otherwise).
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..types import AMultiset, Missing, TypeTag, type_tag_of
+
+#: Selectivity assumed for range predicates the statistics cannot interpolate
+#: (non-numeric fields, empty statistics): pessimistic enough that the cost
+#: model only prefers an index probe when it can actually reason about it.
+DEFAULT_RANGE_SELECTIVITY = 0.1
+
+
+@dataclass
+class FieldStatistics:
+    """Min/max/count summary of one field's indexed (present, scalar) values."""
+
+    field_path: Tuple[str, ...] = ()
+    count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+
+    def observe(self, value: Any) -> None:
+        """Fold one indexed value into the summary (absent values never reach here)."""
+        if self.count == 0:
+            self.min_value = value
+            self.max_value = value
+        else:
+            try:
+                if value < self.min_value:
+                    self.min_value = value
+                if value > self.max_value:
+                    self.max_value = value
+            except TypeError:
+                # Mixed-type fields: keep the count, stop trusting the bounds.
+                self.min_value = None
+                self.max_value = None
+        self.count += 1
+
+    def merge(self, other: "FieldStatistics") -> "FieldStatistics":
+        """Combine two summaries (e.g. across a dataset's partitions)."""
+        merged = FieldStatistics(field_path=self.field_path or other.field_path)
+        merged.count = self.count + other.count
+        nonempty = [stats for stats in (self, other) if stats.count]
+        if nonempty and all(stats.min_value is not None for stats in nonempty):
+            try:
+                merged.min_value = min(stats.min_value for stats in nonempty)
+                merged.max_value = max(stats.max_value for stats in nonempty)
+            except TypeError:
+                merged.min_value = None
+                merged.max_value = None
+        return merged
+
+    @property
+    def _numeric_bounds(self) -> Optional[Tuple[float, float]]:
+        if (isinstance(self.min_value, (int, float)) and not isinstance(self.min_value, bool)
+                and isinstance(self.max_value, (int, float))
+                and not isinstance(self.max_value, bool)):
+            return float(self.min_value), float(self.max_value)
+        return None
+
+    def estimate_range_selectivity(self, low: Any = None, high: Any = None) -> float:
+        """Estimated fraction of records with an indexed value in ``[low, high]``.
+
+        Numeric fields interpolate under a uniform-distribution assumption;
+        anything else falls back to :data:`DEFAULT_RANGE_SELECTIVITY`.  The
+        estimate is clamped to ``[1/count, 1]`` so an equality probe never
+        rounds down to an impossible zero cost.
+        """
+        if self.count == 0:
+            return 1.0
+        bounds = self._numeric_bounds
+        floor = 1.0 / self.count
+        if bounds is None:
+            if low is None and high is None:
+                return 1.0
+            return max(DEFAULT_RANGE_SELECTIVITY, floor)
+        minimum, maximum = bounds
+        effective_low = minimum if low is None else float(low) if _is_number(low) else None
+        effective_high = maximum if high is None else float(high) if _is_number(high) else None
+        if effective_low is None or effective_high is None:
+            return max(DEFAULT_RANGE_SELECTIVITY, floor)
+        effective_low = max(effective_low, minimum)
+        effective_high = min(effective_high, maximum)
+        if effective_high < effective_low:
+            return floor
+        width = maximum - minimum
+        if width <= 0:
+            return 1.0
+        fraction = (effective_high - effective_low) / width
+        return min(1.0, max(floor, fraction))
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 @dataclass

@@ -30,6 +30,7 @@ def reload_auxiliary_tree(index, component: OnDiskComponent) -> None:
     if index.secondary_indexes:
         component.secondary_files = {}
         component.secondary_trees = {}
+        component.secondary_stats = {}
         for definition in index.secondary_indexes:
             ix_file = f"{component.file_name}.ix.{definition.name}"
             if not manager.exists(ix_file):
@@ -38,6 +39,19 @@ def reload_auxiliary_tree(index, component: OnDiskComponent) -> None:
             if metadata is None:
                 manager.delete_file(ix_file)
                 continue
+            tree = BTree(index.buffer_cache, ix_file, metadata.btree_info)
             component.secondary_files[definition.name] = ix_file
-            component.secondary_trees[definition.name] = BTree(index.buffer_cache, ix_file,
-                                                               metadata.btree_info)
+            component.secondary_trees[definition.name] = tree
+            # Re-derive this component's field statistics for the cost model
+            # from two page reads: the tree is sorted on (value, primary_key),
+            # so min/max are the first and last entries and the count is in
+            # the component metadata — no full tree walk needed.
+            from ..datasets.stats import FieldStatistics
+
+            statistics = FieldStatistics(field_path=definition.field_path or ())
+            statistics.count = metadata.record_count
+            first, last = tree.first_entry(), tree.last_entry()
+            if first is not None and last is not None:
+                statistics.min_value = first.key[0]
+                statistics.max_value = last.key[0]
+            component.secondary_stats[definition.name] = statistics

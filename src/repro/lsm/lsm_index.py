@@ -41,10 +41,16 @@ class SecondaryIndexDef:
 
     ``extractor`` receives the stored payload bytes and the component's
     schema and returns the indexed value (or ``None`` to skip the record).
+    ``field_path`` is the indexed field's path when the index covers a plain
+    field access — the optimizer matches WHERE conjuncts against it.  Field
+    statistics (min/max/count for the cost model) live per component in
+    ``component.secondary_stats`` and are aggregated by
+    :meth:`LSMBTree.secondary_statistics`.
     """
 
     name: str
     extractor: Callable[[bytes, Optional[InferredSchema]], Any]
+    field_path: Optional[Tuple[str, ...]] = None
 
 
 @dataclass
@@ -385,10 +391,37 @@ class LSMBTree:
     # ------------------------------------------------------------------ auxiliary indexes
 
     def add_secondary_index(self, definition: SecondaryIndexDef) -> None:
-        """Register a secondary index (must be added before any flush)."""
-        if self.components:
-            raise ComponentStateError("secondary indexes must be created before data is flushed")
+        """Register a secondary index, backfilling existing on-disk components.
+
+        Newly flushed/merged components index themselves as they are built;
+        components that already exist are scanned once here so that
+        ``CREATE INDEX`` works on datasets with data (AsterixDB's bulk
+        secondary-index build).
+        """
+        if any(existing.name == definition.name for existing in self.secondary_indexes):
+            raise ComponentStateError(f"secondary index {definition.name!r} already exists")
+        try:
+            for component in self.components:
+                entries = list(component.scan())
+                self._build_secondary_tree(component, definition, entries)
+        except Exception:
+            # Atomic create: a backfill failure (e.g. values of incomparable
+            # mixed types that cannot share one sort order) must not leave a
+            # half-built index behind.
+            self._remove_secondary_index_artifacts(definition.name)
+            raise
         self.secondary_indexes.append(definition)
+
+    def _remove_secondary_index_artifacts(self, index_name: str) -> None:
+        manager = self.buffer_cache.file_manager
+        for component in self.components:
+            files = getattr(component, "secondary_files", None) or {}
+            ix_file = files.pop(index_name, None)
+            (getattr(component, "secondary_trees", None) or {}).pop(index_name, None)
+            (getattr(component, "secondary_stats", None) or {}).pop(index_name, None)
+            if ix_file is not None and manager.exists(ix_file):
+                self.buffer_cache.invalidate_file(ix_file)
+                manager.delete_file(ix_file)
 
     def _build_auxiliary_indexes(self, component: OnDiskComponent,
                                  entries: Sequence[LeafEntry]) -> None:
@@ -405,44 +438,145 @@ class LSMBTree:
                 component.component_id, pk_entries)
             component.primary_key_file = pk_file
             component.primary_key_index = BTree(self.buffer_cache, pk_file, metadata.btree_info)
-        if self.secondary_indexes:
+        for definition in self.secondary_indexes:
+            self._build_secondary_tree(component, definition, entries)
+
+    def _build_secondary_tree(self, component: OnDiskComponent,
+                              definition: SecondaryIndexDef,
+                              entries: Sequence[LeafEntry]) -> None:
+        """Build one component's B+-tree for one secondary index definition."""
+        if not hasattr(component, "secondary_files") or component.secondary_files is None:
             component.secondary_files = {}
             component.secondary_trees = {}
-            for definition in self.secondary_indexes:
-                keyed = []
-                for entry in entries:
-                    if entry.is_antimatter:
-                        continue
-                    value = definition.extractor(entry.value, component.schema)
-                    if value is None:
-                        continue
-                    keyed.append(((value, entry.key), entry.key))
-                keyed.sort(key=lambda pair: pair[0])
-                ix_file = f"{component.file_name}.ix.{definition.name}"
-                ix_entries = [LeafEntry(key, _encode_primary_ref(primary))
-                              for key, primary in keyed]
-                metadata = ComponentWriter(self.buffer_cache, ix_file).write(
-                    component.component_id, ix_entries)
-                component.secondary_files[definition.name] = ix_file
-                component.secondary_trees[definition.name] = BTree(
-                    self.buffer_cache, ix_file, metadata.btree_info)
+        if not hasattr(component, "secondary_stats") or component.secondary_stats is None:
+            component.secondary_stats = {}
+        from ..datasets.stats import FieldStatistics
+
+        statistics = FieldStatistics(field_path=definition.field_path or ())
+        keyed = []
+        for entry in entries:
+            if entry.is_antimatter:
+                continue
+            value = definition.extractor(entry.value, component.schema)
+            if value is None:
+                continue
+            statistics.observe(value)
+            keyed.append(((value, entry.key), entry.key))
+        keyed.sort(key=lambda pair: pair[0])
+        ix_file = f"{component.file_name}.ix.{definition.name}"
+        ix_entries = [LeafEntry(key, _encode_primary_ref(primary))
+                      for key, primary in keyed]
+        metadata = ComponentWriter(self.buffer_cache, ix_file).write(
+            component.component_id, ix_entries)
+        component.secondary_files[definition.name] = ix_file
+        component.secondary_trees[definition.name] = BTree(
+            self.buffer_cache, ix_file, metadata.btree_info)
+        component.secondary_stats[definition.name] = statistics
+
+    def secondary_index_def(self, index_name: str) -> Optional[SecondaryIndexDef]:
+        for definition in self.secondary_indexes:
+            if definition.name == index_name:
+                return definition
+        return None
+
+    def secondary_statistics(self, index_name: str):
+        """Aggregated field statistics of one index across live components.
+
+        Per-component statistics are summed, so the total reflects the
+        entries actually present in the index's trees — merges replace the
+        merged-away components' contribution instead of double-counting.
+        Keys shadowed across components (or by unflushed memtable writes)
+        still contribute once per indexed version; the cost model only needs
+        an estimate.  Returns None for an unknown index.
+        """
+        definition = self.secondary_index_def(index_name)
+        if definition is None:
+            return None
+        from ..datasets.stats import FieldStatistics
+
+        merged = FieldStatistics(field_path=definition.field_path or ())
+        for component in self.components:
+            statistics = (getattr(component, "secondary_stats", None) or {}).get(index_name)
+            if statistics is not None:
+                merged = merged.merge(statistics)
+        return merged
 
     def secondary_range_lookup(self, index_name: str, low: Any, high: Any) -> List[Any]:
         """Primary keys whose indexed value lies in ``[low, high]``."""
+        return self.secondary_candidate_keys(index_name, low, high)
+
+    def secondary_candidate_keys(self, index_name: str, low: Any, high: Any,
+                                 low_inclusive: bool = True,
+                                 high_inclusive: bool = True) -> List[Any]:
+        """Distinct primary keys whose indexed value lies in the given range.
+
+        Candidates, not answers: a key may have been re-written since the
+        component that indexed it was built, so callers must re-check the
+        predicate against the key's *newest* record version (the executor's
+        residual filter does exactly that).  Keys are deduplicated across
+        components; anti-matter reconciliation is likewise the caller's
+        point-lookup problem.
+        """
+        if self.secondary_index_def(index_name) is None:
+            raise KeyNotFoundError(f"unknown secondary index {index_name!r}")
         keys: List[Any] = []
+        seen: set = set()
         for component in self.components:
             tree = getattr(component, "secondary_trees", {}).get(index_name)
             if tree is None:
                 continue
-            # The composite keys are (value, primary_key); a 1-tuple lower
-            # bound compares below every composite sharing the same value.
-            low_key = (low,) if low is not None else None
-            for entry in tree.range_scan(low_key, None):
-                value, primary_key = entry.key
-                if high is not None and value > high:
-                    break
+            try:
+                matched = self._tree_range_keys(tree, low, high, low_inclusive, high_inclusive)
+            except TypeError:
+                # The bounds and this component's indexed values do not share
+                # an order (e.g. a numeric predicate over a string-valued
+                # component): the B+-tree descent cannot compare them.  Fall
+                # back to walking the whole tree, keeping only entries that
+                # *are* comparable and in range — incomparable values can
+                # never satisfy the predicate, exactly like the scan path,
+                # where the residual comparison evaluates to MISSING.
+                matched = self._tree_filtered_keys(tree, low, high, low_inclusive, high_inclusive)
+            for primary_key in matched:
+                if primary_key in seen:
+                    continue
+                seen.add(primary_key)
                 keys.append(primary_key)
         return keys
+
+    @staticmethod
+    def _tree_range_keys(tree: BTree, low: Any, high: Any,
+                         low_inclusive: bool, high_inclusive: bool) -> List[Any]:
+        # The composite keys are (value, primary_key); a 1-tuple lower
+        # bound compares below every composite sharing the same value.
+        low_key = (low,) if low is not None else None
+        matched: List[Any] = []
+        for entry in tree.range_scan(low_key, None):
+            value, primary_key = entry.key
+            if high is not None and (value > high
+                                     or (not high_inclusive and value == high)):
+                break
+            if not low_inclusive and low is not None and value == low:
+                continue
+            matched.append(primary_key)
+        return matched
+
+    @staticmethod
+    def _tree_filtered_keys(tree: BTree, low: Any, high: Any,
+                            low_inclusive: bool, high_inclusive: bool) -> List[Any]:
+        matched: List[Any] = []
+        for entry in tree.scan_all():
+            value, primary_key = entry.key
+            try:
+                if low is not None and (value < low
+                                        or (not low_inclusive and value == low)):
+                    continue
+                if high is not None and (value > high
+                                         or (not high_inclusive and value == high)):
+                    continue
+            except TypeError:
+                continue
+            matched.append(primary_key)
+        return matched
 
     # ------------------------------------------------------------------ read path
 

@@ -28,6 +28,7 @@ from ..core.dataset import Dataset
 from ..errors import QueryError
 from .expressions import is_absent
 from .operators import (
+    IndexProbeOperator,
     LetOperator,
     PartialGroupByOperator,
     ProjectOperator,
@@ -38,7 +39,7 @@ from .operators import (
     merge_partials,
     order_and_limit,
 )
-from .optimizer import AccessPlan, Optimizer
+from .optimizer import AccessPathChoice, AccessPlan, Optimizer, choose_access_path
 from .plan import QuerySpec
 
 
@@ -55,6 +56,10 @@ class ExecutionStats:
     schema_broadcast_bytes: int = 0
     schema_broadcasts: int = 0
     per_partition_seconds: List[float] = field(default_factory=list)
+    #: Access path the optimizer chose: "FullScan" or "IndexProbe".
+    access_path: str = "FullScan"
+    #: Secondary index probed, when ``access_path == "IndexProbe"``.
+    index_name: Optional[str] = None
 
     @property
     def parallel_wall_seconds(self) -> float:
@@ -74,6 +79,9 @@ class ExecutionStats:
 class QueryResult:
     rows: List[Dict[str, Any]]
     stats: ExecutionStats
+    #: The optimizer's access-path decision (costs, candidates) for EXPLAIN
+    #: surfaces and benchmark assertions.
+    access_path: Optional[AccessPathChoice] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -87,11 +95,15 @@ class QueryExecutor:
 
     def __init__(self, consolidate_field_access: bool = True,
                  pushdown_through_unnest: bool = True,
-                 cold_cache: bool = False) -> None:
+                 cold_cache: bool = False,
+                 access_path: str = "auto") -> None:
         self.optimizer = Optimizer(consolidate_field_access, pushdown_through_unnest)
         #: Drop buffer caches before running (used to make query benchmarks
         #: I/O-bound like the paper's cold runs).
         self.cold_cache = cold_cache
+        #: Access-path policy: "auto" (cost-based), "scan" (force full scans),
+        #: or "index" (probe whenever an indexed predicate exists).
+        self.access_path = access_path
 
     # ------------------------------------------------------------------ public API
 
@@ -99,6 +111,10 @@ class QueryExecutor:
         stats = ExecutionStats()
         access_plan = self.optimizer.plan(spec, dataset.config.storage_format.uses_vector_format)
         spec = access_plan.effective_spec(spec)
+        choice = choose_access_path(spec, dataset, force=self.access_path)
+        stats.access_path = choice.path.name
+        if choice.uses_index:
+            stats.index_name = choice.path.index_name
 
         environments = {id(environment): environment for environment in dataset.environments}
         if self.cold_cache:
@@ -117,7 +133,7 @@ class QueryExecutor:
 
         for partition in dataset.partitions:
             partition_started = time.perf_counter()
-            pipeline, scan = self._local_pipeline(partition, spec, access_plan)
+            pipeline, scan = self._local_pipeline(partition, spec, access_plan, choice)
             if spec.is_aggregation:
                 grouping = PartialGroupByOperator(pipeline, spec.group_keys, spec.aggregates)
                 partials.append(grouping.run())
@@ -139,12 +155,16 @@ class QueryExecutor:
             stats.bytes_read += delta.bytes_read
             stats.bytes_written += delta.bytes_written
             stats.simulated_io_seconds += environment.device.simulated_seconds(delta)
-        return QueryResult(rows, stats)
+        return QueryResult(rows, stats, access_path=choice)
 
     # ------------------------------------------------------------------ local stage
 
-    def _local_pipeline(self, partition, spec: QuerySpec, access_plan: AccessPlan):
-        scan = ScanOperator(partition, spec.record_var, access_plan)
+    def _local_pipeline(self, partition, spec: QuerySpec, access_plan: AccessPlan,
+                        choice: AccessPathChoice):
+        if choice.uses_index:
+            scan = IndexProbeOperator(partition, spec.record_var, access_plan, choice.path)
+        else:
+            scan = ScanOperator(partition, spec.record_var, access_plan)
         pipeline: Iterator = iter(scan)
         if spec.lets:
             pipeline = iter(LetOperator(pipeline, spec.lets))

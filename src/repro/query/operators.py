@@ -21,7 +21,7 @@ from ..types import AMultiset, MISSING, Missing
 from .aggregates import get_aggregate
 from .expressions import EXTRACTED, Expr, is_absent
 from .optimizer import AccessPlan, UnnestAccessPlan
-from .plan import AggregateSpec, LetClause, QuerySpec
+from .plan import AggregateSpec, IndexProbe, LetClause, QuerySpec
 
 Environment = Dict[str, Any]
 
@@ -39,6 +39,42 @@ class ScanOperator:
         consolidate = self.access_plan.consolidate and self.access_plan.scan_paths
         paths = self.access_plan.scan_paths
         for view in self.partition.scan_views():
+            self.records_scanned += 1
+            env: Environment = {self.record_var: view}
+            if consolidate:
+                values = view.get_values(*paths)
+                env[EXTRACTED] = {(self.record_var, path): value
+                                  for path, value in zip(paths, values)}
+            yield env
+
+
+class IndexProbeOperator:
+    """Secondary-index probe source: candidate record views instead of a scan.
+
+    Drop-in replacement for :class:`ScanOperator` at the head of a partition
+    pipeline.  The candidates are a superset of the answer (stale index
+    entries, unindexed memtable records — see ``Partition.probe_views``), so
+    the probe's residual predicate (the query's full WHERE clause) is always
+    re-applied downstream by the usual :class:`SelectOperator`.
+    ``records_scanned`` counts candidates examined, mirroring the scan
+    operator's accounting.
+    """
+
+    def __init__(self, partition, record_var: str, access_plan: AccessPlan,
+                 probe: IndexProbe) -> None:
+        self.partition = partition
+        self.record_var = record_var
+        self.access_plan = access_plan
+        self.probe = probe
+        self.records_scanned = 0
+
+    def __iter__(self) -> Iterator[Environment]:
+        consolidate = self.access_plan.consolidate and self.access_plan.scan_paths
+        paths = self.access_plan.scan_paths
+        probe = self.probe
+        views = self.partition.probe_views(probe.index_name, probe.low, probe.high,
+                                           probe.low_inclusive, probe.high_inclusive)
+        for view in views:
             self.records_scanned += 1
             env: Environment = {self.record_var: view}
             if consolidate:

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..config import DEVICE_PROFILES
+from ..errors import QueryError
 from .expressions import (
     And,
     Arithmetic,
@@ -43,8 +45,9 @@ from .expressions import (
     Not,
     Or,
     Var,
+    is_absent,
 )
-from .plan import QuerySpec, UnnestClause
+from .plan import FullScan, IndexProbe, QuerySpec, UnnestClause
 
 Path = Tuple[Any, ...]
 
@@ -219,6 +222,197 @@ def _rewrite_expr(expr: Expr, record_var: str) -> Expr:
     if isinstance(expr, Not):
         return Not(_rewrite_expr(expr.operand, record_var))
     return expr
+
+
+# ---------------------------------------------------------------------------
+# access-path selection (full scan vs. secondary-index probe)
+# ---------------------------------------------------------------------------
+
+#: B+-tree descent pages charged to an index probe before any row is fetched.
+PROBE_DESCENT_PAGES = 2
+
+
+@dataclass
+class IndexCandidate:
+    """One secondary index the optimizer considered, with its cost estimate."""
+
+    probe: IndexProbe
+    selectivity: float
+    estimated_rows: float
+    cost_seconds: float
+
+
+@dataclass
+class AccessPathChoice:
+    """Outcome of access-path selection, with the numbers behind it.
+
+    ``path`` is what the executor runs; the costs and candidates are kept so
+    EXPLAIN can show *why* the optimizer picked it.
+    """
+
+    path: Any  # FullScan | IndexProbe
+    scan_cost_seconds: float = 0.0
+    probe_cost_seconds: Optional[float] = None
+    estimated_selectivity: Optional[float] = None
+    estimated_rows: Optional[float] = None
+    candidates: List[IndexCandidate] = field(default_factory=list)
+    forced: bool = False
+
+    @property
+    def uses_index(self) -> bool:
+        return isinstance(self.path, IndexProbe)
+
+
+def _conjuncts(predicate: Optional[Expr]) -> List[Expr]:
+    """Flatten a WHERE tree's top-level AND into a conjunct list."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        flattened: List[Expr] = []
+        for operand in predicate.operands:
+            flattened.extend(_conjuncts(operand))
+        return flattened
+    return [predicate]
+
+
+def _comparison_bound(conjunct: Expr, record_var: str, field_path: Path):
+    """``(op, literal)`` with the field on the left, or None if not usable.
+
+    Usable conjuncts are comparisons between exactly the indexed field path
+    (on the scan variable) and a literal, in either operand order.
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.op == "!=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if (isinstance(left, FieldAccess) and left.source == record_var
+            and left.path == field_path and isinstance(right, Literal)):
+        op, literal = conjunct.op, right.value
+    elif (isinstance(right, FieldAccess) and right.source == record_var
+          and right.path == field_path and isinstance(left, Literal)):
+        op, literal = flipped[conjunct.op], left.value
+    else:
+        return None
+    if is_absent(literal) or isinstance(literal, (dict, list, tuple)):
+        return None
+    return op, literal
+
+
+def extract_key_range(predicate: Optional[Expr], record_var: str, field_path: Path):
+    """Combine every usable conjunct over ``field_path`` into one key range.
+
+    Returns ``(low, low_inclusive, high, high_inclusive, used_conjuncts)`` or
+    None when no conjunct constrains the field (or the bounds cannot be
+    combined, e.g. mixed-type literals).
+    """
+    low: Any = None
+    high: Any = None
+    low_inclusive = True
+    high_inclusive = True
+    used: List[Expr] = []
+    try:
+        for conjunct in _conjuncts(predicate):
+            bound = _comparison_bound(conjunct, record_var, field_path)
+            if bound is None:
+                continue
+            op, literal = bound
+            if op == "=":
+                if low is None or literal > low or (literal == low and not low_inclusive):
+                    low, low_inclusive = literal, True
+                if high is None or literal < high or (literal == high and not high_inclusive):
+                    high, high_inclusive = literal, True
+            elif op in (">", ">="):
+                inclusive = op == ">="
+                if low is None or literal > low or (literal == low and not inclusive):
+                    low, low_inclusive = literal, inclusive
+            else:  # "<" or "<="
+                inclusive = op == "<="
+                if high is None or literal < high or (literal == high and not inclusive):
+                    high, high_inclusive = literal, inclusive
+            used.append(conjunct)
+    except TypeError:
+        return None
+    if not used:
+        return None
+    return low, low_inclusive, high, high_inclusive, used
+
+
+def choose_access_path(spec: QuerySpec, dataset, force: str = "auto") -> AccessPathChoice:
+    """Pick a full scan or a secondary-index probe for one query over ``dataset``.
+
+    The cost model is deliberately small (this is the paper's Figure 24
+    regime, not a Selinger reconstruction): a full scan pays one seek plus a
+    sequential read of the dataset's on-disk bytes; an index probe pays a
+    B+-tree descent plus, per estimated matching row, a seek and one page
+    read.  Selectivities come from the index's field statistics
+    (:class:`~repro.datasets.stats.FieldStatistics`, uniform assumption);
+    bandwidth and seek latency come from the dataset's device profile in
+    :mod:`repro.config`.  ``force`` overrides the decision: "scan" or
+    "index" instead of "auto" (benchmarks and parity tests use both).
+    """
+    if force not in ("auto", "scan", "index"):
+        raise QueryError(f"unknown access-path mode {force!r}; use auto, scan, or index")
+
+    profile = DEVICE_PROFILES[dataset.config.storage.device_kind]
+    read_bandwidth = profile["read_bandwidth"]
+    seek = profile["seek_latency"]
+    page_size = dataset.config.storage.page_size
+    scan_cost = seek + dataset.storage_size() / read_bandwidth
+
+    if force == "scan":
+        return AccessPathChoice(FullScan("forced"), scan_cost_seconds=scan_cost, forced=True)
+
+    indexes = dataset.list_secondary_indexes()
+    if not indexes:
+        return AccessPathChoice(FullScan("no secondary indexes"), scan_cost_seconds=scan_cost,
+                                forced=force == "index")
+    if spec.where is None:
+        return AccessPathChoice(FullScan("no WHERE clause"), scan_cost_seconds=scan_cost,
+                                forced=force == "index")
+
+    record_count = dataset.approximate_record_count()
+    candidates: List[IndexCandidate] = []
+    for index_name, field_path in indexes:
+        if not field_path:
+            continue
+        key_range = extract_key_range(spec.where, spec.record_var, tuple(field_path))
+        if key_range is None:
+            continue
+        low, low_inclusive, high, high_inclusive, used = key_range
+        probe = IndexProbe(index_name=index_name, field_path=tuple(field_path),
+                           low=low, high=high, low_inclusive=low_inclusive,
+                           high_inclusive=high_inclusive, residual=spec.where,
+                           range_conjuncts=tuple(used))
+        statistics = dataset.index_statistics(index_name)
+        if probe.is_empty_range:
+            selectivity = 0.0
+        elif statistics is not None:
+            selectivity = statistics.estimate_range_selectivity(low, high)
+        else:
+            selectivity = 1.0
+        estimated_rows = selectivity * record_count
+        probe_cost = (seek + PROBE_DESCENT_PAGES * page_size / read_bandwidth
+                      + estimated_rows * (seek + page_size / read_bandwidth))
+        candidates.append(IndexCandidate(probe, selectivity, estimated_rows, probe_cost))
+
+    if not candidates:
+        return AccessPathChoice(FullScan("no indexed predicate in the WHERE clause"),
+                                scan_cost_seconds=scan_cost, forced=force == "index")
+
+    best = min(candidates, key=lambda candidate: candidate.cost_seconds)
+    if force == "index" or best.cost_seconds < scan_cost:
+        return AccessPathChoice(best.probe, scan_cost_seconds=scan_cost,
+                                probe_cost_seconds=best.cost_seconds,
+                                estimated_selectivity=best.selectivity,
+                                estimated_rows=best.estimated_rows,
+                                candidates=candidates, forced=force == "index")
+    reason = (f"estimated selectivity {best.selectivity:.2%} makes the sequential "
+              "scan cheaper")
+    return AccessPathChoice(FullScan(reason), scan_cost_seconds=scan_cost,
+                            probe_cost_seconds=best.cost_seconds,
+                            estimated_selectivity=best.selectivity,
+                            estimated_rows=best.estimated_rows,
+                            candidates=candidates)
 
 
 def _substitute_access(expr: Expr, item_var: str, item_path: Path) -> Expr:

@@ -28,6 +28,68 @@ class UnnestClause:
 
 
 @dataclass
+class FullScan:
+    """Access path: read every record of every partition sequentially."""
+
+    reason: str = ""
+
+    @property
+    def name(self) -> str:
+        return "FullScan"
+
+    def describe(self) -> str:
+        return f"FullScan({self.reason})" if self.reason else "FullScan"
+
+
+@dataclass
+class IndexProbe:
+    """Access path: probe one secondary index, then fetch + re-filter records.
+
+    ``low``/``high`` bound the indexed field (None = open-ended); the probe
+    yields a *candidate superset* (stale index entries, unindexed memtable
+    records), so ``residual`` — the query's full WHERE predicate — is always
+    re-applied to the fetched records.  ``range_conjuncts`` records which
+    conjuncts the index absorbed, for EXPLAIN output.
+    """
+
+    index_name: str
+    field_path: Tuple[Any, ...]
+    low: Optional[Any] = None
+    high: Optional[Any] = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    residual: Optional[Expr] = None
+    range_conjuncts: Tuple[Expr, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return "IndexProbe"
+
+    @property
+    def is_empty_range(self) -> bool:
+        """True when the extracted bounds cannot match anything (e.g. x > 5 AND x < 3)."""
+        if self.low is None or self.high is None:
+            return False
+        try:
+            if self.low > self.high:
+                return True
+            if self.low == self.high and not (self.low_inclusive and self.high_inclusive):
+                return True
+        except TypeError:
+            return False
+        return False
+
+    def describe(self) -> str:
+        low_bracket = "[" if self.low_inclusive else "("
+        high_bracket = "]" if self.high_inclusive else ")"
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        path = ".".join(str(step) for step in self.field_path)
+        return (f"IndexProbe(index={self.index_name}, field={path}, "
+                f"range={low_bracket}{low}, {high}{high_bracket})")
+
+
+@dataclass
 class AggregateSpec:
     """One aggregate output column."""
 

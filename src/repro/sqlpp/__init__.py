@@ -32,14 +32,15 @@ recursive-descent parser, and the binder alike.
 from ..errors import SqlppError
 from . import ast
 from .ast import unparse, unparse_expr
-from .binder import Binder, CompiledQuery, bind
+from .binder import Binder, CompiledCreateIndex, CompiledQuery, bind, bind_statement
 from .lexer import Lexer, Token, tokenize
-from .parser import Parser, parse, parse_expression
+from .parser import Parser, parse, parse_expression, parse_statement
 
 
-def compile(text: str) -> CompiledQuery:  # noqa: A001 - mirrors the stdlib name on purpose
-    """Compile a SQL++ query string into an executable :class:`CompiledQuery`."""
-    return bind(parse(text))
+def compile(text: str):  # noqa: A001 - mirrors the stdlib name on purpose
+    """Compile one SQL++ statement: queries yield a :class:`CompiledQuery`,
+    ``CREATE INDEX`` yields a :class:`CompiledCreateIndex`."""
+    return bind_statement(parse_statement(text))
 
 
 __all__ = [
@@ -50,11 +51,14 @@ __all__ = [
     "Parser",
     "parse",
     "parse_expression",
+    "parse_statement",
     "ast",
     "unparse",
     "unparse_expr",
     "Binder",
     "CompiledQuery",
+    "CompiledCreateIndex",
     "bind",
+    "bind_statement",
     "compile",
 ]

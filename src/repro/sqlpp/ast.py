@@ -205,6 +205,15 @@ class Query(Node):
     limit: Optional[NumberLit] = None
 
 
+@dataclass
+class CreateIndex(Node):
+    """``CREATE INDEX <name> ON <dataset> (<field.path>)`` — DDL statement."""
+
+    name: str = ""
+    dataset: str = ""
+    field_path: Tuple[str, ...] = ()
+
+
 # ---------------------------------------------------------------------------
 # unparser
 # ---------------------------------------------------------------------------
@@ -285,8 +294,11 @@ def unparse_expr(expr: Expr) -> str:
     raise TypeError(f"cannot unparse {type(expr).__name__}")
 
 
-def unparse(query: Query) -> str:
-    """Render a :class:`Query` back to canonical SQL++ text."""
+def unparse(query: "Node") -> str:
+    """Render a :class:`Query` (or :class:`CreateIndex`) back to canonical SQL++."""
+    if isinstance(query, CreateIndex):
+        return (f"CREATE INDEX {query.name} ON {query.dataset} "
+                f"({'.'.join(query.field_path)})")
     parts = []
     select = query.select
     if select.kind == "star":

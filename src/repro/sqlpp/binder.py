@@ -58,6 +58,16 @@ class CompiledQuery:
     tree: ast.Query
 
 
+@dataclass
+class CompiledCreateIndex:
+    """A bound CREATE INDEX statement: the target dataset, index name, path."""
+
+    dataset: str
+    index_name: str
+    field_path: Tuple[str, ...]
+    tree: ast.CreateIndex
+
+
 def _error(node: ast.Node, message: str, token: Optional[str] = None) -> "SqlppError":
     raise SqlppError(message, node.line, node.column, token)
 
@@ -304,3 +314,15 @@ class Binder:
 def bind(query: ast.Query) -> CompiledQuery:
     """Bind a parsed query to an executable :class:`CompiledQuery`."""
     return Binder(query).bind()
+
+
+def bind_statement(statement: ast.Node):
+    """Bind a parsed statement (query or DDL) to its compiled form."""
+    if isinstance(statement, ast.CreateIndex):
+        if not statement.field_path:
+            _error(statement, "CREATE INDEX needs a non-empty field path")
+        return CompiledCreateIndex(dataset=statement.dataset,
+                                   index_name=statement.name,
+                                   field_path=statement.field_path,
+                                   tree=statement)
+    return bind(statement)

@@ -22,6 +22,7 @@ KEYWORDS = frozenset({
     "AND", "OR", "NOT", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT",
     "SOME", "IN", "SATISFIES", "EXISTS",
     "TRUE", "FALSE", "NULL", "MISSING", "IS", "UNKNOWN",
+    "CREATE", "INDEX", "ON",
 })
 
 #: Multi-character operators, longest first so ``<=`` wins over ``<``.

@@ -2,6 +2,8 @@
 
 Grammar (clauses in SQL++ surface order)::
 
+    statement   := query | create_index
+    create_index:= CREATE INDEX ident ON ident '(' ident ('.' ident)* ')' [';']
     query       := select from let* unnest* [where] [group] [order] [limit] [';']
     select      := SELECT ( '*' | VALUE expr | item (',' item)* )
     item        := expr [AS ident]
@@ -90,6 +92,37 @@ class Parser:
     @staticmethod
     def _pos(token: Token) -> dict:
         return {"line": token.line, "column": token.column}
+
+    # ------------------------------------------------------------------ statements
+
+    def parse_statement(self) -> ast.Node:
+        """Parse one statement: a query, or a CREATE INDEX DDL statement."""
+        if self._check("keyword", "CREATE"):
+            return self._create_index_statement()
+        return self.parse_query()
+
+    def _create_index_statement(self) -> ast.CreateIndex:
+        keyword = self._expect("keyword", "CREATE")
+        self._expect("keyword", "INDEX")
+        name = self._expect("ident", what="an index name after CREATE INDEX").value
+        self._expect("keyword", "ON")
+        dataset = self._expect("ident", what="a dataset name after ON").value
+        self._expect("op", "(")
+        steps = [self._field_path_step()]
+        while self._accept("op", "."):
+            steps.append(self._field_path_step())
+        self._expect("op", ")")
+        self._accept("op", ";")
+        if self.current.kind != "eof":
+            self._fail("expected end of statement")
+        return ast.CreateIndex(name=name, dataset=dataset, field_path=tuple(steps),
+                               **self._pos(keyword))
+
+    def _field_path_step(self) -> str:
+        # Field names may collide with keywords, same as after '.' in paths.
+        if self.current.kind not in ("ident", "keyword"):
+            self._fail("expected a field name in the index field path")
+        return self._advance().value
 
     # ------------------------------------------------------------------ query
 
@@ -399,6 +432,12 @@ class Parser:
 def parse(source: str) -> ast.Query:
     """Parse a SQL++ query string into its AST (:class:`repro.sqlpp.ast.Query`)."""
     return Parser(source).parse_query()
+
+
+def parse_statement(source: str) -> ast.Node:
+    """Parse one statement: a :class:`~repro.sqlpp.ast.Query` or a
+    :class:`~repro.sqlpp.ast.CreateIndex`."""
+    return Parser(source).parse_statement()
 
 
 def parse_expression(source: str) -> ast.Expr:

@@ -1,0 +1,348 @@
+"""Access-path selection: scan/index parity, lifecycle, and EXPLAIN tests.
+
+The executor may answer a range predicate by a full scan or by probing a
+secondary index; whichever the cost model (or a forced override) picks, the
+rows must be identical.  The probe path is a *candidate superset* machine —
+stale index entries, unindexed memtable records, anti-matter — so these
+tests hammer exactly those edges: every storage format, compressed and not,
+random/inverted/open-ended ranges, and the full LSM lifecycle (upsert,
+delete, flush, merge, crash recovery) against a Python-dict oracle.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, DeviceKind, StorageEnvironment, StorageFormat
+from repro.datasets.stats import FieldStatistics
+from repro.errors import SqlppError
+from repro.query import choose_access_path
+from repro.sqlpp import CompiledCreateIndex
+from repro.sqlpp import compile as compile_sqlpp
+from repro.types import Datatype
+
+RECORD_COUNT = 400
+SELECTIVITIES = (0.001, 0.01, 0.1, 0.5)
+FORMATS = (StorageFormat.OPEN, StorageFormat.CLOSED, StorageFormat.INFERRED)
+COMPRESSIONS = (None, "snappy")
+
+
+def _records(count=RECORD_COUNT):
+    records = []
+    for i in range(count):
+        record = {"id": i, "ts": 1000 + i * 3, "name": f"user{i}",
+                  "nested": {"score": i % 97}, "tags": [f"t{i % 5}"]}
+        if i % 7 == 0:
+            del record["nested"]          # MISSING indexed field on some records
+        records.append(record)
+    return records
+
+
+def _build(storage_format, compression=None, records=None, index=True,
+           device=DeviceKind.NVME_SSD):
+    records = records if records is not None else _records()
+    environment = StorageEnvironment.for_device(device, compression=compression,
+                                                page_size=4096, buffer_cache_pages=512)
+    datatype = None
+    if storage_format is StorageFormat.CLOSED:
+        datatype = Datatype.from_records("AccessPathType", records, is_open=True,
+                                         primary_key="id")
+    dataset = Dataset.create("apaths", storage_format, environment=environment,
+                             datatype=datatype)
+    if index:
+        dataset.create_index("by_ts", "ts")
+    dataset.insert_all(records)
+    dataset.flush_all()
+    return dataset
+
+
+def _range_query(low, high, low_op=">=", high_op="<="):
+    conjuncts = []
+    if low is not None:
+        conjuncts.append(f"t.ts {low_op} {low}")
+    if high is not None:
+        conjuncts.append(f"t.ts {high_op} {high}")
+    where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+    return f"SELECT VALUE t.id FROM apaths AS t{where}"
+
+
+def _rows(dataset, text, access_path):
+    result = dataset.query(text, access_path=access_path)
+    return sorted(row["value"] for row in result.rows), result
+
+
+# ---------------------------------------------------------------------------
+# parity across selectivities, formats, and compression
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("compression", COMPRESSIONS, ids=["raw", "snappy"])
+@pytest.mark.parametrize("storage_format", FORMATS, ids=[f.value for f in FORMATS])
+class TestScanIndexParity:
+    def test_every_selectivity_is_row_identical(self, storage_format, compression):
+        records = _records()
+        dataset = _build(storage_format, compression, records)
+        timestamps = sorted(record["ts"] for record in records)
+        for selectivity in SELECTIVITIES:
+            span = max(1, int(len(timestamps) * selectivity))
+            low = timestamps[0]
+            high = timestamps[min(span, len(timestamps) - 1)]
+            text = _range_query(low, high)
+            via_index, index_result = _rows(dataset, text, "index")
+            via_scan, scan_result = _rows(dataset, text, "scan")
+            assert index_result.stats.access_path == "IndexProbe"
+            assert scan_result.stats.access_path == "FullScan"
+            assert via_index == via_scan
+            expected = sorted(record["id"] for record in records
+                              if low <= record["ts"] <= high)
+            assert via_index == expected
+
+    def test_cost_based_choice_matches_both(self, storage_format, compression):
+        records = _records()
+        dataset = _build(storage_format, compression, records)
+        text = _range_query(1000, 1006)
+        auto_rows, _ = _rows(dataset, text, "auto")
+        forced_rows, _ = _rows(dataset, text, "scan")
+        assert auto_rows == forced_rows == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# property-based: random (possibly empty / inverted / open-ended) ranges
+# ---------------------------------------------------------------------------
+
+_PROPERTY_DATASET = None
+
+
+def _property_dataset():
+    global _PROPERTY_DATASET
+    if _PROPERTY_DATASET is None:
+        dataset = _build(StorageFormat.INFERRED)
+        # Leave the index's blind spots in play: memtable-only records, an
+        # upsert that moves an indexed value, and a delete.
+        dataset.upsert({"id": 3, "ts": 5000, "name": "moved"})
+        dataset.insert({"id": RECORD_COUNT, "ts": 1004, "name": "unflushed"})
+        dataset.delete(10)
+        _PROPERTY_DATASET = dataset
+    return _PROPERTY_DATASET
+
+
+_bounds = st.one_of(st.none(), st.integers(min_value=900, max_value=2400))
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(low=_bounds, high=_bounds,
+       low_op=st.sampled_from([">", ">="]), high_op=st.sampled_from(["<", "<="]))
+def test_random_ranges_agree(low, high, low_op, high_op):
+    dataset = _property_dataset()
+    text = _range_query(low, high, low_op, high_op)
+    via_index, _ = _rows(dataset, text, "index")
+    via_scan, _ = _rows(dataset, text, "scan")
+    assert via_index == via_scan
+
+
+# ---------------------------------------------------------------------------
+# LSM lifecycle: the probe stays correct through every state transition
+# ---------------------------------------------------------------------------
+
+class TestLsmLifecycle:
+    LOW, HIGH = 100, 400
+
+    def _assert_parity(self, dataset, oracle):
+        text = f"SELECT VALUE t.id FROM apaths AS t WHERE t.ts >= {self.LOW} AND t.ts <= {self.HIGH}"
+        via_index, result = _rows(dataset, text, "index")
+        assert result.stats.access_path == "IndexProbe"
+        expected = sorted(key for key, record in oracle.items()
+                          if self.LOW <= record["ts"] <= self.HIGH)
+        assert via_index == expected
+        via_scan, _ = _rows(dataset, text, "scan")
+        assert via_scan == expected
+
+    def test_upsert_delete_flush_merge_recovery(self):
+        environment = StorageEnvironment.for_device(DeviceKind.NVME_SSD,
+                                                    page_size=4096, buffer_cache_pages=512)
+        dataset = Dataset.create("apaths", StorageFormat.INFERRED, environment=environment)
+        dataset.create_index("by_ts", "ts")
+        oracle = {}
+
+        def put(record):
+            oracle[record["id"]] = record
+            dataset.upsert(record)
+
+        for i in range(60):
+            put({"id": i, "ts": i * 10, "payload": f"p{i}"})
+        self._assert_parity(dataset, oracle)            # memtable only
+
+        dataset.flush_all()
+        self._assert_parity(dataset, oracle)            # one component
+
+        for i in range(0, 60, 4):                       # move values in and out of range
+            put({"id": i, "ts": i * 10 + 1000, "payload": "moved"})
+        self._assert_parity(dataset, oracle)            # stale index entries + memtable
+
+        for i in range(5, 60, 10):
+            del oracle[i]
+            dataset.delete(i)
+        self._assert_parity(dataset, oracle)            # anti-matter in the memtable
+
+        dataset.flush_all()
+        self._assert_parity(dataset, oracle)            # two components, shadowed keys
+
+        partition = dataset.partitions[0]
+        assert partition.index.component_count() >= 2
+        partition.index.merge(list(partition.index.components))
+        self._assert_parity(dataset, oracle)            # merged, anti-matter dropped
+
+        put({"id": 200, "ts": 150, "payload": "post-merge, unflushed"})
+
+        # Crash: forget all in-memory state, keep files + WAL, recover.
+        revived = Dataset.create("apaths", StorageFormat.INFERRED, environment=environment)
+        revived.create_index("by_ts", "ts")
+        for part in revived.partitions:
+            part.recover()
+        self._assert_parity(revived, oracle)            # recovered components + WAL replay
+
+    def test_index_created_after_data_backfills(self):
+        dataset = _build(StorageFormat.OPEN, index=False)
+        dataset.flush_all()
+        dataset.create_index("by_ts", "ts")             # backfill over existing components
+        text = _range_query(1000, 1030)
+        via_index, result = _rows(dataset, text, "index")
+        via_scan, _ = _rows(dataset, text, "scan")
+        assert result.stats.index_name == "by_ts"
+        assert via_index == via_scan == list(range(11))
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN: the rendered plan names the winning access path and flips
+# ---------------------------------------------------------------------------
+
+class TestExplain:
+    def test_low_selectivity_names_index_probe(self):
+        dataset = _build(StorageFormat.INFERRED, device=DeviceKind.SATA_SSD)
+        plan = dataset.explain(_range_query(1000, 1003))
+        assert "IndexProbe(index=by_ts, field=ts" in plan
+        assert "residual filter" in plan
+        assert "estimated selectivity" in plan
+
+    def test_high_selectivity_names_full_scan(self):
+        dataset = _build(StorageFormat.INFERRED, device=DeviceKind.SATA_SSD)
+        plan = dataset.explain(_range_query(1000, 1000 + 3 * RECORD_COUNT))
+        assert "FullScan" in plan
+        assert "IndexProbe(index=" not in plan
+
+    def test_flips_exactly_once_as_selectivity_grows(self):
+        dataset = _build(StorageFormat.INFERRED, device=DeviceKind.SATA_SSD)
+        choices = []
+        for width in range(0, 3 * RECORD_COUNT + 1, 30):
+            plan = dataset.explain(_range_query(1000, 1000 + width))
+            choices.append("IndexProbe" if "IndexProbe(index=" in plan else "FullScan")
+        assert choices[0] == "IndexProbe"
+        assert choices[-1] == "FullScan"
+        flips = sum(1 for before, after in zip(choices, choices[1:]) if before != after)
+        assert flips == 1  # monotone: once the scan wins, it keeps winning
+
+    def test_forced_paths_render_as_forced(self):
+        dataset = _build(StorageFormat.INFERRED, device=DeviceKind.SATA_SSD)
+        narrow = _range_query(1000, 1003)
+        assert "FullScan(forced)" in dataset.explain(narrow, access_path="scan")
+        forced = dataset.explain(_range_query(1000, 4000), access_path="index")
+        assert "IndexProbe(index=by_ts" in forced and "forced" in forced
+
+    def test_no_usable_index_reports_why(self):
+        dataset = _build(StorageFormat.INFERRED)
+        plan = dataset.explain("SELECT VALUE t.id FROM apaths AS t WHERE t.name = 'user3'")
+        assert "FullScan(no indexed predicate" in plan
+        plan = dataset.explain("SELECT VALUE t.id FROM apaths AS t")
+        assert "FullScan(no WHERE clause)" in plan
+
+
+# ---------------------------------------------------------------------------
+# hostile-typed data: incomparable bounds, mixed-type fields
+# ---------------------------------------------------------------------------
+
+class TestTypeEdgeCases:
+    def test_incomparable_bound_keeps_parity(self):
+        # A numeric predicate over a string-valued index must not crash the
+        # probe path; both paths agree the predicate is never true.
+        dataset = Dataset.create("strs", StorageFormat.OPEN)
+        dataset.create_index("by_ts", "ts")
+        dataset.insert_all({"id": i, "ts": f"s{i}"} for i in range(50))
+        dataset.flush_all()
+        numeric = "SELECT VALUE t.id FROM strs AS t WHERE t.ts >= 5"
+        assert dataset.query(numeric, access_path="index").rows == []
+        assert dataset.query(numeric, access_path="scan").rows == []
+        stringy = "SELECT VALUE t.id FROM strs AS t WHERE t.ts >= 's48'"
+        via_index = sorted(r["value"] for r in dataset.query(stringy, access_path="index").rows)
+        via_scan = sorted(r["value"] for r in dataset.query(stringy, access_path="scan").rows)
+        assert via_index == via_scan == [5, 6, 7, 8, 9, 48, 49]  # lexicographic order
+
+    def test_failed_backfill_leaves_no_half_built_index(self):
+        # Mixed-type values cannot share one sort order; CREATE INDEX must
+        # fail atomically: no registered index, no orphan .ix files.
+        dataset = Dataset.create("mixed", StorageFormat.OPEN)
+        dataset.insert_all([{"id": 1, "ts": 5}, {"id": 2, "ts": "five"}])
+        dataset.flush_all()
+        with pytest.raises(TypeError):
+            dataset.create_index("by_ts", "ts")
+        assert dataset.list_secondary_indexes() == []
+        files = dataset.environments[0].file_manager.list_files()
+        assert not any(".ix." in name for name in files)
+        rows = dataset.query("SELECT VALUE t.id FROM mixed AS t WHERE t.ts = 5").rows
+        assert [row["value"] for row in rows] == [1]
+
+    def test_merge_does_not_double_count_statistics(self):
+        dataset = Dataset.create("stats", StorageFormat.OPEN)
+        dataset.create_index("by_v", "v")
+        dataset.insert_all({"id": i, "v": i} for i in range(60))
+        dataset.flush_all()
+        dataset.insert_all({"id": 100 + i, "v": 100 + i} for i in range(60))
+        dataset.flush_all()
+        assert dataset.index_statistics("by_v").count == 120
+        partition = dataset.partitions[0]
+        partition.index.merge(list(partition.index.components))
+        statistics = dataset.index_statistics("by_v")
+        assert statistics.count == 120
+        assert statistics.min_value == 0 and statistics.max_value == 159
+
+
+# ---------------------------------------------------------------------------
+# CREATE INDEX surface + statistics plumbing
+# ---------------------------------------------------------------------------
+
+class TestCreateIndexSurface:
+    def test_create_index_via_sqlpp_text(self):
+        dataset = _build(StorageFormat.OPEN, index=False)
+        result = dataset.query("CREATE INDEX by_score ON apaths (nested.score)")
+        assert result.rows == []
+        assert ("by_score", ("nested", "score")) in dataset.list_secondary_indexes()
+        text = "SELECT VALUE t.id FROM apaths AS t WHERE t.nested.score >= 90 AND t.nested.score <= 96"
+        via_index, probe = _rows(dataset, text, "index")
+        via_scan, _ = _rows(dataset, text, "scan")
+        assert probe.stats.index_name == "by_score"
+        assert via_index == via_scan
+
+    def test_compile_returns_create_index_statement(self):
+        compiled = compile_sqlpp("CREATE INDEX by_ts ON Tweets (timestamp_ms);")
+        assert isinstance(compiled, CompiledCreateIndex)
+        assert compiled.index_name == "by_ts"
+        assert compiled.dataset == "Tweets"
+        assert compiled.field_path == ("timestamp_ms",)
+
+    def test_malformed_create_index_raises_positioned_error(self):
+        with pytest.raises(SqlppError) as excinfo:
+            compile_sqlpp("CREATE INDEX ON Tweets (ts)")
+        assert excinfo.value.line == 1
+
+    def test_statistics_feed_the_cost_model(self):
+        dataset = _build(StorageFormat.OPEN, device=DeviceKind.SATA_SSD)
+        statistics = dataset.index_statistics("by_ts")
+        assert isinstance(statistics, FieldStatistics)
+        assert statistics.count == RECORD_COUNT
+        assert statistics.min_value == 1000
+        narrow = compile_sqlpp(_range_query(1000, 1003)).spec
+        choice = choose_access_path(narrow, dataset)
+        assert choice.uses_index
+        assert choice.estimated_selectivity < 0.02
+        wide = compile_sqlpp(_range_query(None, None)).spec
+        choice = choose_access_path(wide, dataset)
+        assert not choice.uses_index
