@@ -13,19 +13,25 @@ every cluster size the storage ordering inferred < closed < open holds, and
 scale-out" claim expressed in the substrate's faithful currency.
 """
 
-from harness import mb, print_table, records_for, shape_check
+from harness import mb, print_table, records_for, scale_factor, shape_check
 
 from repro.cluster import ClusterSimulator, DataFeed
 from repro.config import ClusterConfig, StorageConfig, StorageFormat
 from repro.datasets import twitter
 
 NODE_COUNTS = (1, 2, 4)
-RECORDS_PER_NODE = 400
+RECORDS_PER_NODE = max(150, int(400 * scale_factor()))
 _FORMATS = {"open": StorageFormat.OPEN, "closed": StorageFormat.CLOSED,
             "inferred": StorageFormat.INFERRED}
 
 
-def build_cluster(nodes: int, format_name: str):
+def build_cluster(nodes: int, format_name: str, io_throttle: float = 0.0):
+    """Build and ingest one scale-out cluster.
+
+    ``io_throttle`` dials in the devices' latency realism *after* ingestion
+    (so only queries pay real sleeps) — the Figure 26 query benchmark uses
+    it to make parallel partition execution measurable in wall-clock time.
+    """
     cluster = ClusterSimulator(
         ClusterConfig(node_count=nodes, partitions_per_node=2),
         StorageConfig(page_size=8 * 1024, buffer_cache_pages=2048, compression="snappy"),
@@ -39,6 +45,8 @@ def build_cluster(nodes: int, format_name: str):
     feed = DataFeed(dataset)
     report = feed.run(twitter.generate(RECORDS_PER_NODE * nodes))
     feed.close()
+    if io_throttle:
+        cluster.set_io_throttle(io_throttle)
     return cluster, report
 
 

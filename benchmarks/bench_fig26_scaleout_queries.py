@@ -5,15 +5,24 @@ stay roughly flat as nodes are added (linear scale-out), the inferred
 dataset is the fastest at every size, and the schema broadcast required by
 the repartitioning queries (Q2/Q3) has no visible impact.
 
-Checked shapes on the simulator: (i) the *per-node parallel* time — the
-metric a real cluster would observe — grows far slower than the total
-sequential work as nodes double, (ii) the schema broadcast happens exactly
-for the repartitioning queries on the inferred dataset and its byte volume
-is negligible next to the data read, and (iii) the bytes-read ordering
-inferred < open holds at every cluster size.
+Since PR 3 the executor fans partitions out over a real worker pool, so the
+"Parallel (s)" column is *measured* wall time, not a simulated maximum, and
+the measured speedup (sequential-equivalent over wall) is reported per run.
+The node devices run with a latency-realism throttle (enabled after
+ingestion) so cold reads cost real, GIL-releasing wall time — otherwise the
+pure-Python CPU work would serialize on the GIL and hide the overlap a real
+cluster gets for free.
+
+Checked shapes on the simulator: (i) the measured parallel time grows far
+slower than the total sequential-equivalent work as nodes double, (ii) real
+overlap happens — the largest cluster's measured speedup clearly exceeds 1,
+(iii) the schema broadcast happens exactly for the repartitioning queries on
+the inferred dataset and its byte volume is negligible next to the data
+read, and (iv) the bytes-read ordering inferred < open holds at every
+cluster size.
 """
 
-from harness import print_table, shape_check
+from harness import print_table, scale_factor, shape_check
 
 from bench_fig25_scaleout_ingest import NODE_COUNTS, build_cluster
 
@@ -21,23 +30,35 @@ from repro.datasets import twitter
 
 QUERY_NAMES = ("Q1", "Q2", "Q3", "Q4")
 
+#: Fraction of simulated device seconds each node actually sleeps during the
+#: query runs (see SimulatedStorageDevice.throttle).  Sized so cold-read
+#: latency, not Python CPU time, dominates each partition pipeline.
+QUERY_IO_THROTTLE = 100.0
+
 
 def _figure26():
     rows = []
     measurements = {}
     from repro.query import QueryExecutor
 
-    executor = QueryExecutor(cold_cache=True)
     for nodes in NODE_COUNTS:
-        clusters = {format_name: build_cluster(nodes, format_name)[0]
+        clusters = {format_name: build_cluster(nodes, format_name,
+                                               io_throttle=QUERY_IO_THROTTLE)[0]
                     for format_name in ("open", "inferred")}
         for format_name, cluster in clusters.items():
+            # Explicit width (one worker per partition): the speedup shape
+            # checks must not depend on the ambient REPRO_PARALLELISM default.
+            executor = QueryExecutor(cold_cache=True,
+                                     parallelism=cluster.total_partitions())
             for query_name in QUERY_NAMES:
                 report = cluster.execute("tweets", twitter.QUERIES[query_name](), executor)
                 measurements[(nodes, format_name, query_name)] = report
                 rows.append({"Nodes": nodes, "Format": format_name, "Query": query_name,
                              "Parallel (s)": report.parallel_seconds,
-                             "Sequential (s)": report.sequential_seconds,
+                             "Measured wall (s)": report.measured_wall_seconds,
+                             "Seq-equivalent (s)": report.sequential_seconds,
+                             "Speedup": report.measured_speedup,
+                             "Workers": report.parallelism,
                              "Broadcast bytes": report.schema_broadcast_bytes,
                              "Rows": len(report.result.rows)})
     return rows, measurements
@@ -53,21 +74,37 @@ def test_fig26_scaleout_queries(benchmark):
         large = measurements[(largest, "inferred", query_name)]
         sequential_growth = large.sequential_seconds / max(small.sequential_seconds, 1e-9)
         parallel_growth = large.parallel_seconds / max(small.parallel_seconds, 1e-9)
-        shape_check(f"{query_name}: parallel time scales far better than sequential work",
+        shape_check(f"{query_name}: measured parallel time scales far better than sequential work",
                     parallel_growth < sequential_growth)
         shape_check(f"{query_name}: bytes read are lower for inferred than open",
                     measurements[(largest, "inferred", query_name)].result.stats.bytes_read
                     <= measurements[(largest, "open", query_name)].result.stats.bytes_read * 1.05)
 
+    # Real overlap: at the largest cluster the worker pool must beat the
+    # sequential-equivalent time outright.  The bound is deliberately loose
+    # (the throttled device sleeps overlap perfectly; Python CPU time does
+    # not), asserted only where the fan-out is widest.
+    for query_name in QUERY_NAMES:
+        report = measurements[(largest, "inferred", query_name)]
+        shape_check(f"{query_name}: measured speedup beats 1.15x at {largest} nodes "
+                    f"(got {report.measured_speedup:.2f})",
+                    report.measured_speedup > 1.15)
+        shape_check(f"{query_name}: wall time below sequential-equivalent",
+                    report.measured_wall_seconds < report.sequential_seconds)
+
     # Schema broadcast: only the repartitioning queries on the inferred dataset ship
     # schemas.  At the paper's 3.2 TB scale the broadcast volume is utterly
     # negligible; at this harness's few-MB scale it is merely *small*, so the check
-    # uses a generous bound and the per-query volumes are printed above.
+    # uses a generous bound.  The broadcast payload is a function of the schema,
+    # not of the data volume, so when REPRO_BENCH_SCALE shrinks the data the
+    # bound is widened proportionally (the per-query volumes are printed above).
+    broadcast_bound = 0.35 / scale_factor()
     for query_name in ("Q2", "Q3"):
         report = measurements[(largest, "inferred", query_name)]
         shape_check(f"{query_name}: repartitioning query broadcast schemas",
                     report.schema_broadcast_bytes > 0)
         shape_check(f"{query_name}: broadcast volume is small relative to the data read",
-                    report.schema_broadcast_bytes < 0.35 * max(report.result.stats.bytes_read, 1))
+                    report.schema_broadcast_bytes
+                    < broadcast_bound * max(report.result.stats.bytes_read, 1))
     q1_report = measurements[(largest, "open", "Q1")]
     shape_check("non-vector datasets never broadcast schemas", q1_report.schema_broadcast_bytes == 0)

@@ -84,12 +84,19 @@ class StorageConfig:
     device_kind: DeviceKind = DeviceKind.NVME_SSD
     compression: Optional[str] = None  # codec name, e.g. "zlib"; None = off
     compression_level: int = 1
+    #: Fraction of every operation's *simulated* device seconds to spend in a
+    #: real ``time.sleep`` (0.0 = pure accounting).  Sleeping releases the
+    #: GIL, so tests and scale-out benchmarks use this to make the wall-clock
+    #: benefit of parallel partition execution observable and deterministic.
+    io_throttle: float = 0.0
 
     def __post_init__(self) -> None:
         if self.page_size <= 256:
             raise ValueError(f"page_size must be > 256 bytes, got {self.page_size}")
         if self.buffer_cache_pages <= 0:
             raise ValueError("buffer_cache_pages must be positive")
+        if self.io_throttle < 0:
+            raise ValueError("io_throttle must be >= 0")
 
 
 @dataclass(frozen=True)

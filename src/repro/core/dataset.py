@@ -50,6 +50,16 @@ class Dataset:
                  datatype: Optional[Datatype] = None) -> None:
         if not environments:
             raise DatasetError("a dataset needs at least one storage environment")
+        # The environment's StorageConfig is the physical truth (device
+        # profile, page size, compression): sync it into the dataset config
+        # so consumers like the access-path cost model never price against
+        # stale defaults.  Previously only Dataset.create did this, letting
+        # datasets built through this bare constructor disagree with their
+        # own environments.
+        if config.storage is not environments[0].config:
+            from dataclasses import replace
+
+            config = replace(config, storage=environments[0].config)
         self.config = config
         self.datatype = datatype if datatype is not None else open_only_primary_key(
             f"{config.name}Type", config.primary_key)
@@ -156,7 +166,9 @@ class Dataset:
         :class:`~repro.query.plan.QuerySpec` the fluent builder produces and
         executed with a :class:`~repro.query.QueryExecutor` (a fresh one per
         call unless ``executor`` is given; ``executor_options`` — e.g.
-        ``cold_cache=True`` — configure the fresh one).  Returns the
+        ``cold_cache=True`` or ``parallelism=4`` — configure the fresh one;
+        partitions fan out across a worker pool, one worker per partition by
+        default, and ``parallelism=1`` runs them sequentially).  Returns the
         executor's :class:`~repro.query.QueryResult`.  Malformed queries
         raise :class:`~repro.errors.SqlppError` with line/column info.
 

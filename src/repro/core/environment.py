@@ -30,7 +30,8 @@ class StorageEnvironment:
                  base_dir: Optional[str] = None, node_id: int = 0) -> None:
         self.config = storage_config or StorageConfig()
         self.node_id = node_id
-        self.device = SimulatedStorageDevice(self.config.device_kind)
+        self.device = SimulatedStorageDevice(self.config.device_kind,
+                                             throttle=self.config.io_throttle)
         codec = get_codec(self.config.compression, self.config.compression_level)
         if base_dir is None:
             self.file_manager = InMemoryFileManager(self.device, self.config.page_size, codec)

@@ -173,26 +173,27 @@ class Partition:
         answer: callers must re-apply the predicate, because an indexed key's
         newest version may no longer satisfy it.
         """
-        memtable_keys = set()
-        for entry in self.index.memory_component.sorted_entries():
-            memtable_keys.add(entry.key)
-            if entry.is_antimatter:
-                continue
-            if entry.record is not None:
-                yield DictRecordView(entry.record)
-            else:
-                yield self.codec.view(entry.encoded, self.current_schema())
-        keys = self.index.secondary_candidate_keys(index_name, low, high,
-                                                   low_inclusive, high_inclusive)
-        keys.sort()
-        for key in keys:
-            if key in memtable_keys:
-                continue  # the memtable sweep already yielded the newest version
-            disk = self.index._search_disk(key)
-            if disk is None:
-                continue
-            payload, component = disk
-            yield self.codec.view(payload, component.schema or self.current_schema())
+        with self.index.read_guard():
+            memtable_keys = set()
+            for entry in self.index.memory_component.sorted_entries():
+                memtable_keys.add(entry.key)
+                if entry.is_antimatter:
+                    continue
+                if entry.record is not None:
+                    yield DictRecordView(entry.record)
+                else:
+                    yield self.codec.view(entry.encoded, self.current_schema())
+            keys = self.index.secondary_candidate_keys(index_name, low, high,
+                                                       low_inclusive, high_inclusive)
+            keys.sort()
+            for key in keys:
+                if key in memtable_keys:
+                    continue  # the memtable sweep already yielded the newest version
+                disk = self.index._search_disk(key)
+                if disk is None:
+                    continue
+                payload, component = disk
+                yield self.codec.view(payload, component.schema or self.current_schema())
 
     # ------------------------------------------------------------------ maintenance & stats
 

@@ -74,8 +74,16 @@ class InMemoryComponent:
         self.size_bytes += entry.size_bytes
 
     def sorted_entries(self) -> List[MemEntry]:
-        """Entries in key order (the flush path sorts once here)."""
-        return [self._entries[key] for key in sorted(self._entries)]
+        """Entries in key order (the flush path sorts once here).
+
+        The returned list is a *snapshot*: the copy of the entry dict is a
+        single C-level operation (atomic under the GIL), so concurrent
+        readers — parallel query workers scanning while another partition of
+        the same dataset flushes — never observe a half-mutated dict.
+        """
+        entries = list(self._entries.values())
+        entries.sort(key=lambda entry: entry.key)
+        return entries
 
     def clear(self) -> None:
         self._entries.clear()

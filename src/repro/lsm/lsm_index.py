@@ -15,6 +15,8 @@ with the schema snapshot of the component they came from.
 from __future__ import annotations
 
 import heapq
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -103,6 +105,15 @@ class LSMBTree:
         self.secondary_indexes: List[SecondaryIndexDef] = []
         self.stats = IngestStats()
         self._next_sequence = 0
+        # Reader bookkeeping: scans/probes snapshot the component list, so a
+        # merge must not delete merged-away component *files* while any
+        # reader's snapshot may still reference them.  Deletions observed
+        # while readers are active are deferred and drained by the last
+        # reader to finish (a lightweight stand-in for AsterixDB's
+        # reference-counted component lifecycle).
+        self._read_lock = threading.Lock()
+        self._active_reads = 0
+        self._deferred_drops: List[OnDiskComponent] = []
 
     # ------------------------------------------------------------------ naming
 
@@ -323,10 +334,19 @@ class LSMBTree:
                                  schema=schema, valid=True)
         self._build_auxiliary_indexes(merged, entries)
 
-        position = self.components.index(selected[0])
-        for component in selected:
-            self.components.remove(component)
-        self.components.insert(position, merged)
+        # Swap in the post-merge component list with a single assignment so a
+        # concurrent scan snapshotting `self.components` never observes an
+        # intermediate state (some inputs removed, merged result not yet in).
+        new_components: List[OnDiskComponent] = []
+        replaced = False
+        for component in self.components:
+            if id(component) in selected_ids:
+                if not replaced:
+                    new_components.append(merged)
+                    replaced = True
+                continue
+            new_components.append(component)
+        self.components = new_components
         for component in selected:
             self._drop_component(component)
         self.stats.merges += 1
@@ -378,8 +398,20 @@ class LSMBTree:
             yield winner
 
     def _drop_component(self, component: OnDiskComponent) -> None:
-        component.valid = False
         self.flush_callback.on_component_deleted(component)
+        with self._read_lock:
+            if self._active_reads:
+                # A concurrent scan/probe may still hold this component in
+                # its snapshot; a merged-away component stays readable (and
+                # VALID) until the last reader finishes and deletes its
+                # files — the moral equivalent of AsterixDB's ref-counted
+                # component lifecycle.
+                self._deferred_drops.append(component)
+                return
+        self._delete_component_files(component)
+
+    def _delete_component_files(self, component: OnDiskComponent) -> None:
+        component.valid = False
         manager = self.buffer_cache.file_manager
         self.buffer_cache.invalidate_file(component.file_name)
         manager.delete_file(component.file_name)
@@ -387,6 +419,31 @@ class LSMBTree:
             manager.delete_file(component.primary_key_file)
         for file_name in getattr(component, "secondary_files", {}).values():
             manager.delete_file(file_name)
+
+    @contextmanager
+    def read_guard(self):
+        """Mark a component-list reader as active for the enclosed block.
+
+        Ordering contract with :meth:`merge`: readers increment the counter
+        *before* snapshotting ``self.components``; merge swaps the list
+        *before* checking the counter in :meth:`_drop_component`.  Any
+        snapshot that can still reference a merged-away component was
+        therefore taken by a reader the merge sees as active, and the
+        component's files are deferred instead of deleted mid-read.
+        """
+        with self._read_lock:
+            self._active_reads += 1
+        drained: List[OnDiskComponent] = []
+        try:
+            yield
+        finally:
+            with self._read_lock:
+                self._active_reads -= 1
+                if self._active_reads == 0 and self._deferred_drops:
+                    drained = self._deferred_drops
+                    self._deferred_drops = []
+            for component in drained:
+                self._delete_component_files(component)
 
     # ------------------------------------------------------------------ auxiliary indexes
 
@@ -495,7 +552,7 @@ class LSMBTree:
         from ..datasets.stats import FieldStatistics
 
         merged = FieldStatistics(field_path=definition.field_path or ())
-        for component in self.components:
+        for component in list(self.components):
             statistics = (getattr(component, "secondary_stats", None) or {}).get(index_name)
             if statistics is not None:
                 merged = merged.merge(statistics)
@@ -521,7 +578,7 @@ class LSMBTree:
             raise KeyNotFoundError(f"unknown secondary index {index_name!r}")
         keys: List[Any] = []
         seen: set = set()
-        for component in self.components:
+        for component in list(self.components):
             tree = getattr(component, "secondary_trees", {}).get(index_name)
             if tree is None:
                 continue
@@ -581,21 +638,26 @@ class LSMBTree:
     # ------------------------------------------------------------------ read path
 
     def search(self, key: Any) -> Optional[SearchResult]:
-        """Point lookup: memtable first, then components newest to oldest."""
-        entry = self.memory_component.get(key)
-        if entry is not None:
-            if entry.is_antimatter:
+        """Point lookup: memtable first, then components newest to oldest.
+
+        Guarded like scans: the component-list snapshot inside
+        ``_search_disk`` must keep its files alive across a concurrent merge.
+        """
+        with self.read_guard():
+            entry = self.memory_component.get(key)
+            if entry is not None:
+                if entry.is_antimatter:
+                    return None
+                return SearchResult(key, entry.encoded, self.current_schema(), from_memory=True,
+                                    record=entry.record)
+            disk = self._search_disk(key)
+            if disk is None:
                 return None
-            return SearchResult(key, entry.encoded, self.current_schema(), from_memory=True,
-                                record=entry.record)
-        disk = self._search_disk(key)
-        if disk is None:
-            return None
-        payload, component = disk
-        return SearchResult(key, payload, component.schema)
+            payload, component = disk
+            return SearchResult(key, payload, component.schema)
 
     def _search_disk(self, key: Any) -> Optional[Tuple[bytes, OnDiskComponent]]:
-        for component in self.components:
+        for component in list(self.components):
             found = component.search(key)
             if found is None:
                 continue
@@ -605,20 +667,38 @@ class LSMBTree:
         return None
 
     def scan(self) -> Iterator[SearchResult]:
-        """Full scan in key order, reconciling duplicates by recency."""
+        """Full scan in key order, reconciling duplicates by recency.
+
+        Both sources are snapshotted up front so the scan stays consistent
+        while a concurrent flush runs: the memtable *must* be snapshotted
+        before the component list, because a flush installs the new on-disk
+        component before clearing the memtable — in that order a scan either
+        sees the data in the memtable snapshot, in the component snapshot,
+        or in both (reconciled by recency rank), but never in neither.
+        The read guard keeps concurrent merges from deleting snapshotted
+        components' files while this generator is live.
+        """
+        with self.read_guard():
+            yield from self._scan_guarded()
+
+    def _scan_guarded(self) -> Iterator[SearchResult]:
+        memory_entries = self.memory_component.sorted_entries()
+        schema = self.current_schema()
+        components = list(self.components)
+
         # Sources: memtable (rank -1, most recent), then components by recency.
         sources: List[Tuple[int, Iterator[Tuple[Any, bool, bytes, Optional[Dict[str, Any]], Optional[InferredSchema]]]]] = []
 
         def memory_iterator():
-            for entry in self.memory_component.sorted_entries():
-                yield entry.key, entry.is_antimatter, entry.encoded, entry.record, self.current_schema()
+            for entry in memory_entries:
+                yield entry.key, entry.is_antimatter, entry.encoded, entry.record, schema
 
         def component_iterator(component: OnDiskComponent):
             for entry in component.scan():
                 yield entry.key, entry.is_antimatter, entry.value, None, component.schema
 
         sources.append((-1, memory_iterator()))
-        for rank, component in enumerate(self.components):
+        for rank, component in enumerate(components):
             sources.append((rank, component_iterator(component)))
 
         heap: List[Tuple[Any, int, int, Tuple]] = []

@@ -1,4 +1,4 @@
-"""Query executor: per-partition pipelines + a coordinator stage.
+"""Query executor: parallel per-partition pipelines + a coordinator stage.
 
 Execution follows the paper's Hyracks job model (Figure 5): every partition
 runs the same local pipeline (scan → let → unnest → select → partial
@@ -6,22 +6,40 @@ aggregation / projection); results then flow through a conceptual exchange
 to a coordinator stage that merges partial aggregates, applies global
 ordering and LIMIT, and returns the rows.
 
-Two pieces of the paper's machinery are made explicit here:
+Partitions genuinely fan out across a worker pool (§2.2: one LSM index per
+partition, jobs run against all of them concurrently).  The ``parallelism``
+knob controls the pool width — the default is one worker per partition, and
+``parallelism=1`` runs the partitions inline in partition order, preserving
+the historical sequential behaviour exactly.  Whatever the pool width,
+per-partition outputs are merged in partition-id order, so the returned
+rows are identical across parallelism settings by construction.
+
+Pieces of the paper's machinery made explicit here:
 
 * **Schema broadcast** (§3.4.1): when the plan repartitions data (group-by,
   global sort, aggregation) and the dataset stores compacted records, each
   partition's schema is serialized and "broadcast" to every other partition
   before execution.  The broadcast bytes are recorded in the execution
   stats; local-only plans skip it, exactly as the paper describes.
-* **I/O accounting**: the executor snapshots each storage environment's
-  simulated device before running and reports the delta, so benchmarks can
-  present both measured wall-clock time and simulated SATA/NVMe I/O time.
+* **I/O accounting**: each partition worker opens a thread-local accounting
+  scope on its environment's simulated device, so byte counts are exact and
+  per-partition even while workers share one device — no snapshot/diff
+  window over shared counters.
+* **Early cancellation**: ``LIMIT`` without ``ORDER BY`` stops work through
+  a thread-safe token.  A partition's output is only used when the
+  partitions *before* it (in partition-id order) did not already satisfy
+  the limit, so the token cancels exactly the partitions whose rows cannot
+  appear in the answer — result parity with the sequential run is kept by
+  construction.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from threading import Lock
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.dataset import Dataset
@@ -42,12 +60,37 @@ from .operators import (
 from .optimizer import AccessPathChoice, AccessPlan, Optimizer, choose_access_path
 from .plan import QuerySpec
 
+#: Environment variable overriding the *default* worker count (an explicit
+#: ``parallelism=`` argument always wins).  CI runs the suite once with
+#: ``REPRO_PARALLELISM=1`` to keep the sequential path covered.
+PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
+
+
+@dataclass
+class PartitionStats:
+    """Measured cost of one partition's local pipeline."""
+
+    partition_id: int
+    seconds: float = 0.0
+    records_scanned: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    simulated_io_seconds: float = 0.0
+    #: True when the LIMIT cancellation token stopped (or skipped) this
+    #: partition because earlier partitions already satisfied the limit.
+    cancelled: bool = False
+
 
 @dataclass
 class ExecutionStats:
     """Measured and simulated costs of one query execution."""
 
     wall_seconds: float = 0.0
+    #: Measured time of the coordinator stage (merge partials / global sort /
+    #: LIMIT) — captured explicitly, not inferred from a subtraction.
+    coordinator_seconds: float = 0.0
+    #: Worker-pool width the execution actually used.
+    parallelism: int = 1
     records_scanned: int = 0
     rows_returned: int = 0
     bytes_read: int = 0
@@ -55,19 +98,47 @@ class ExecutionStats:
     simulated_io_seconds: float = 0.0
     schema_broadcast_bytes: int = 0
     schema_broadcasts: int = 0
-    per_partition_seconds: List[float] = field(default_factory=list)
+    per_partition: List[PartitionStats] = field(default_factory=list)
     #: Access path the optimizer chose: "FullScan" or "IndexProbe".
     access_path: str = "FullScan"
     #: Secondary index probed, when ``access_path == "IndexProbe"``.
     index_name: Optional[str] = None
 
     @property
+    def per_partition_seconds(self) -> List[float]:
+        """Per-partition pipeline seconds, in partition order."""
+        return [partition.seconds for partition in self.per_partition]
+
+    @property
     def parallel_wall_seconds(self) -> float:
-        """Wall time if partitions had run concurrently (max, not sum)."""
-        if not self.per_partition_seconds:
+        """Measured critical path: the slowest partition plus the coordinator.
+
+        .. deprecated:: PR 3
+           This used to be *simulated* from a sequential run as
+           ``max(per_partition) + (wall - sum(per_partition))`` with the
+           coordinator share clamped at zero — meaningless once partitions
+           really overlap.  It is now derived purely from measured data
+           (``coordinator_seconds`` is captured explicitly); compare it with
+           ``wall_seconds`` to see scheduling/GIL overhead of the real run.
+        """
+        if not self.per_partition:
             return self.wall_seconds
-        coordinator = self.wall_seconds - sum(self.per_partition_seconds)
-        return max(self.per_partition_seconds) + max(coordinator, 0.0)
+        return max(self.per_partition_seconds) + self.coordinator_seconds
+
+    @property
+    def sequential_equivalent_seconds(self) -> float:
+        """What a one-worker run of the same partition work would cost
+        (sum of measured partition times plus the measured coordinator)."""
+        if not self.per_partition:
+            return self.wall_seconds
+        return sum(self.per_partition_seconds) + self.coordinator_seconds
+
+    @property
+    def measured_speedup(self) -> float:
+        """Sequential-equivalent time over the measured wall time."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.sequential_equivalent_seconds / self.wall_seconds
 
     @property
     def total_seconds(self) -> float:
@@ -90,13 +161,47 @@ class QueryResult:
         return len(self.rows)
 
 
+class LimitCancellation:
+    """Thread-safe early-cancel token for LIMIT without ORDER BY.
+
+    The coordinator concatenates partition outputs in partition-id order and
+    truncates to the limit, so partition ``k``'s rows reach the answer only
+    if partitions ``0..k-1`` contribute fewer than ``limit`` rows.  A worker
+    may therefore stop (or never start) once every earlier partition has
+    completed and their combined row count satisfies the limit — the exact
+    thread-safe generalization of the sequential loop's early ``break``.
+    """
+
+    def __init__(self, limit: int, partition_count: int) -> None:
+        self.limit = limit
+        self._lock = Lock()
+        self._completed: List[Optional[int]] = [None] * partition_count
+
+    def mark_complete(self, index: int, row_count: int) -> None:
+        with self._lock:
+            self._completed[index] = row_count
+
+    def satisfied_before(self, index: int) -> bool:
+        """True when partitions ``0..index-1`` already fill the limit."""
+        with self._lock:
+            total = 0
+            for count in self._completed[:index]:
+                if count is None:
+                    return False
+                total += count
+                if total >= self.limit:
+                    return True
+            return False
+
+
 class QueryExecutor:
     """Executes :class:`~repro.query.plan.QuerySpec` objects against datasets."""
 
     def __init__(self, consolidate_field_access: bool = True,
                  pushdown_through_unnest: bool = True,
                  cold_cache: bool = False,
-                 access_path: str = "auto") -> None:
+                 access_path: str = "auto",
+                 parallelism: Optional[int] = None) -> None:
         self.optimizer = Optimizer(consolidate_field_access, pushdown_through_unnest)
         #: Drop buffer caches before running (used to make query benchmarks
         #: I/O-bound like the paper's cold runs).
@@ -104,6 +209,10 @@ class QueryExecutor:
         #: Access-path policy: "auto" (cost-based), "scan" (force full scans),
         #: or "index" (probe whenever an indexed predicate exists).
         self.access_path = access_path
+        #: Worker-pool width.  ``None`` means one worker per partition
+        #: (overridable via the ``REPRO_PARALLELISM`` environment variable);
+        #: ``1`` runs partitions inline, sequentially, in partition order.
+        self.parallelism = parallelism
 
     # ------------------------------------------------------------------ public API
 
@@ -116,48 +225,101 @@ class QueryExecutor:
         if choice.uses_index:
             stats.index_name = choice.path.index_name
 
-        environments = {id(environment): environment for environment in dataset.environments}
         if self.cold_cache:
-            for environment in environments.values():
+            for environment in {id(env): env for env in dataset.environments}.values():
                 environment.drop_caches()
-        io_before = {key: environment.device.snapshot()
-                     for key, environment in environments.items()}
+
+        parallelism = self._resolve_parallelism(dataset)
+        stats.parallelism = parallelism
         started = time.perf_counter()
 
         if spec.repartitions:
             self._broadcast_schemas(dataset, stats)
 
-        partials: List[Dict[Tuple[Any, ...], List[Any]]] = []
-        plain_rows: List[Dict[str, Any]] = []
-        ordered_candidates: List[Tuple[Tuple[Any, ...], Dict[str, Any]]] = []
+        token: Optional[LimitCancellation] = None
+        if (spec.limit is not None and not spec.is_aggregation and not spec.order_by
+                and dataset.partition_count > 1):
+            token = LimitCancellation(spec.limit, dataset.partition_count)
 
-        for partition in dataset.partitions:
-            partition_started = time.perf_counter()
+        outputs: List[Tuple[str, Any]] = [None] * dataset.partition_count
+        if parallelism <= 1:
+            for index, partition in enumerate(dataset.partitions):
+                outputs[index], partition_stats = self._run_partition(
+                    index, partition, spec, access_plan, choice, token)
+                stats.per_partition.append(partition_stats)
+        else:
+            with ThreadPoolExecutor(max_workers=parallelism,
+                                    thread_name_prefix="repro-query") as pool:
+                futures = [pool.submit(self._run_partition, index, partition,
+                                       spec, access_plan, choice, token)
+                           for index, partition in enumerate(dataset.partitions)]
+                for index, future in enumerate(futures):
+                    outputs[index], partition_stats = future.result()
+                    stats.per_partition.append(partition_stats)
+
+        coordinator_started = time.perf_counter()
+        rows = self._coordinator_stage(spec, outputs)
+        ended = time.perf_counter()
+        stats.coordinator_seconds = ended - coordinator_started
+        stats.wall_seconds = ended - started
+        stats.rows_returned = len(rows)
+        for partition_stats in stats.per_partition:
+            stats.records_scanned += partition_stats.records_scanned
+            stats.bytes_read += partition_stats.bytes_read
+            stats.bytes_written += partition_stats.bytes_written
+            stats.simulated_io_seconds += partition_stats.simulated_io_seconds
+        return QueryResult(rows, stats, access_path=choice)
+
+    def _resolve_parallelism(self, dataset: Dataset) -> int:
+        requested = self.parallelism
+        if requested is None:
+            env_value = os.environ.get(PARALLELISM_ENV_VAR, "").strip()
+            if env_value:
+                try:
+                    requested = int(env_value)
+                except ValueError:
+                    raise QueryError(
+                        f"{PARALLELISM_ENV_VAR} must be an integer, got {env_value!r}")
+            else:
+                requested = dataset.partition_count
+        if requested < 1:
+            raise QueryError(f"parallelism must be >= 1, got {requested}")
+        return min(requested, dataset.partition_count)
+
+    # ------------------------------------------------------------------ local stage
+
+    def _run_partition(self, index: int, partition, spec: QuerySpec,
+                       access_plan: AccessPlan, choice: AccessPathChoice,
+                       token: Optional[LimitCancellation]):
+        """One partition's full local pipeline (runs on a worker thread)."""
+        partition_stats = PartitionStats(partition_id=partition.partition_id)
+        partition_started = time.perf_counter()
+        if token is not None and token.satisfied_before(index):
+            partition_stats.cancelled = True
+            partition_stats.seconds = time.perf_counter() - partition_started
+            return ("plain", []), partition_stats
+
+        device = partition.environment.device
+        with device.accounting_scope() as io_scope:
             pipeline, scan = self._local_pipeline(partition, spec, access_plan, choice)
             if spec.is_aggregation:
                 grouping = PartialGroupByOperator(pipeline, spec.group_keys, spec.aggregates)
-                partials.append(grouping.run())
+                output = ("partial", grouping.run())
             elif spec.order_by:
-                ordered_candidates.extend(self._collect_ordered(pipeline, spec))
+                output = ("ordered", self._collect_ordered(pipeline, spec))
             else:
-                plain_rows.extend(self._collect_plain(pipeline, spec))
-            stats.per_partition_seconds.append(time.perf_counter() - partition_started)
-            stats.records_scanned += scan.records_scanned
-            if (spec.limit is not None and not spec.is_aggregation and not spec.order_by
-                    and len(plain_rows) >= spec.limit):
-                break
-
-        rows = self._coordinator_stage(spec, partials, plain_rows, ordered_candidates)
-        stats.wall_seconds = time.perf_counter() - started
-        stats.rows_returned = len(rows)
-        for key, environment in environments.items():
-            delta = environment.device.stats.diff(io_before[key])
-            stats.bytes_read += delta.bytes_read
-            stats.bytes_written += delta.bytes_written
-            stats.simulated_io_seconds += environment.device.simulated_seconds(delta)
-        return QueryResult(rows, stats, access_path=choice)
-
-    # ------------------------------------------------------------------ local stage
+                abort_check = (lambda: token.satisfied_before(index)) if token else None
+                rows, aborted = self._collect_plain(pipeline, spec, abort_check)
+                partition_stats.cancelled = aborted
+                if token is not None and not aborted:
+                    token.mark_complete(index, len(rows))
+                output = ("plain", rows)
+        partition_stats.seconds = time.perf_counter() - partition_started
+        partition_stats.records_scanned = scan.records_scanned
+        partition_stats.bytes_read = io_scope.bytes_read
+        partition_stats.bytes_written = io_scope.bytes_written
+        partition_stats.simulated_io_seconds = device.simulated_seconds(io_scope)
+        return output, partition_stats
 
     def _local_pipeline(self, partition, spec: QuerySpec, access_plan: AccessPlan,
                         choice: AccessPathChoice):
@@ -174,13 +336,18 @@ class QueryExecutor:
             pipeline = iter(SelectOperator(pipeline, spec.where))
         return pipeline, scan
 
-    def _collect_plain(self, pipeline: Iterator, spec: QuerySpec) -> List[Dict[str, Any]]:
+    def _collect_plain(self, pipeline: Iterator, spec: QuerySpec,
+                       abort_check=None) -> Tuple[List[Dict[str, Any]], bool]:
+        """Project rows up to the limit; abort when the token says the
+        partitions before this one already satisfy it."""
         rows = []
-        for row in ProjectOperator(pipeline, spec.projections):
+        for count, row in enumerate(ProjectOperator(pipeline, spec.projections)):
             rows.append(row)
             if spec.limit is not None and len(rows) >= spec.limit:
                 break
-        return rows
+            if abort_check is not None and count % 32 == 0 and abort_check():
+                return rows, True
+        return rows, False
 
     def _collect_ordered(self, pipeline: Iterator, spec: QuerySpec):
         """Project rows while remembering their sort keys (evaluated pre-projection)."""
@@ -203,22 +370,37 @@ class QueryExecutor:
                     value = value.materialize()
                 row[name] = value
             candidates.append((tuple(sort_key), row))
+        if spec.limit is not None and len(candidates) > spec.limit:
+            # Per-partition top-k: under the coordinator's stable comparator a
+            # row beyond this partition's local top-`limit` can never reach
+            # the global answer, so only `limit` candidates cross the
+            # exchange and the coordinator sorts parallelism*limit rows.
+            candidates = _sort_candidates(candidates, spec.order_by)[:spec.limit]
         return candidates
 
     # ------------------------------------------------------------------ coordinator stage
 
-    def _coordinator_stage(self, spec: QuerySpec, partials, plain_rows, ordered_candidates):
+    def _coordinator_stage(self, spec: QuerySpec, outputs: Sequence[Tuple[str, Any]]):
+        """Merge per-partition outputs, always in partition-id order, so the
+        result is independent of worker scheduling."""
         if spec.is_aggregation:
+            partials = [payload for _, payload in outputs]
             merged = merge_partials(partials, spec.aggregates)
             rows = finalize_groups(merged, spec)
             return order_and_limit(rows, spec)
         if spec.order_by:
-            descending = spec.order_by[0].descending
-            ordered = sorted(ordered_candidates, key=lambda pair: pair[0], reverse=descending)
-            rows = [row for _, row in ordered]
+            candidates: List[Tuple[Tuple[Any, ...], Dict[str, Any]]] = []
+            for _, payload in outputs:
+                candidates.extend(payload)
+            rows = [row for _, row in _sort_candidates(candidates, spec.order_by)]
             if spec.limit is not None:
                 rows = rows[:spec.limit]
             return rows
+        plain_rows: List[Dict[str, Any]] = []
+        for _, payload in outputs:
+            plain_rows.extend(payload)
+            if spec.limit is not None and len(plain_rows) >= spec.limit:
+                break
         if spec.limit is not None:
             return plain_rows[:spec.limit]
         return plain_rows
@@ -239,6 +421,19 @@ class QueryExecutor:
         receivers = dataset.partition_count - 1
         stats.schema_broadcasts += 1
         stats.schema_broadcast_bytes += sum(len(payload) for payload in payloads.values()) * receivers
+
+
+def _sort_candidates(candidates: List[Tuple[Tuple[Any, ...], Dict[str, Any]]],
+                     order_by) -> List[Tuple[Tuple[Any, ...], Dict[str, Any]]]:
+    """Stable per-key passes, least-significant key first, so each key
+    honours its own ASC/DESC direction (mirrors order_and_limit).  Shared by
+    the per-partition top-k truncation and the coordinator's global sort so
+    both apply the exact same comparator."""
+    for position in range(len(order_by) - 1, -1, -1):
+        candidates = sorted(candidates,
+                            key=lambda pair, p=position: pair[0][p],
+                            reverse=order_by[position].descending)
+    return candidates
 
 
 def _orderable(value: Any) -> Any:

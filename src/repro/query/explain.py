@@ -136,6 +136,8 @@ def explain(dataset, query: Union[str, QuerySpec], access_path: str = "auto",
         coordinator.append("ORDER BY " + ", ".join(rendered_keys))
     if spec.limit is not None:
         coordinator.append(f"LIMIT {spec.limit}")
+    lines.append(f"  exchange: {dataset.partition_count} partition stream(s) "
+                 "merged in partition order (worker pool, default one worker per partition)")
     lines.append("  coordinator: " + ("; ".join(coordinator) if coordinator else "concatenate"))
 
     if access_plan.consolidate and access_plan.scan_paths:

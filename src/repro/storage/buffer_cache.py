@@ -16,10 +16,22 @@ This class reproduces that split:
 
 Pages can be *pinned* to keep them resident while an operator iterates over
 them; eviction only considers unpinned pages, in LRU order.
+
+The cache is shared by every partition of a storage environment, so with
+the parallel query executor it is hit from multiple worker threads at once.
+Frame bookkeeping (lookup, LRU order, install, evict, counters) is guarded
+by a lock; the underlying file-manager fetch on a miss deliberately happens
+*outside* the lock so that misses against different component files overlap
+— holding the lock across the fetch would serialize exactly the I/O the
+parallel executor is supposed to overlap.  Two threads missing the same
+page concurrently may both fetch it (the first install wins; the loser
+reuses the installed frame and discards its own copy); component files are
+partition-private, so in practice concurrent same-page misses do not occur.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -64,57 +76,72 @@ class BufferCache:
         self.page_size = file_manager.page_size
         self.stats = CacheStats()
         self._frames: "OrderedDict[PageKey, _Frame]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # -- reads --------------------------------------------------------------------
 
     def read_page(self, file_name: str, page_no: int, pin: bool = False) -> bytes:
         """Return the uncompressed content of a logical page."""
         key = (file_name, page_no)
-        frame = self._frames.get(key)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(key)
-        else:
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(key)
+                if pin:
+                    frame.pin_count += 1
+                return frame.data
             self.stats.misses += 1
-            data = self.file_manager.read_page(file_name, page_no)
-            frame = _Frame(data)
-            self._install(key, frame)
-        if pin:
-            frame.pin_count += 1
-        return frame.data
+        data = self.file_manager.read_page(file_name, page_no)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is None:
+                frame = _Frame(data)
+                self._install(key, frame)
+            else:
+                self._frames.move_to_end(key)
+            if pin:
+                frame.pin_count += 1
+            return frame.data
 
     def unpin(self, file_name: str, page_no: int) -> None:
-        frame = self._frames.get((file_name, page_no))
-        if frame is not None and frame.pin_count > 0:
-            frame.pin_count -= 1
+        with self._lock:
+            frame = self._frames.get((file_name, page_no))
+            if frame is not None and frame.pin_count > 0:
+                frame.pin_count -= 1
 
     # -- writes ---------------------------------------------------------------------
 
     def write_page(self, file_name: str, page_no: int, data: bytes) -> None:
         """Write-through a page and keep it resident."""
         self.file_manager.write_page(file_name, page_no, data)
-        self.stats.writes += 1
-        self._install((file_name, page_no), _Frame(data))
+        with self._lock:
+            self.stats.writes += 1
+            self._install((file_name, page_no), _Frame(data))
 
     # -- file-level helpers -------------------------------------------------------------
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop every cached page of a file (after delete/merge cleanup)."""
-        stale = [key for key in self._frames if key[0] == file_name]
-        for key in stale:
-            del self._frames[key]
+        with self._lock:
+            stale = [key for key in self._frames if key[0] == file_name]
+            for key in stale:
+                del self._frames[key]
 
     def clear(self) -> None:
         """Empty the cache (used to make query benchmarks cold-start)."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     @property
     def resident_pages(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     # -- internals ----------------------------------------------------------------------
 
     def _install(self, key: PageKey, frame: _Frame) -> None:
+        # Callers hold self._lock.
         if key in self._frames:
             existing = self._frames[key]
             frame.pin_count = existing.pin_count

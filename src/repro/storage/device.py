@@ -9,12 +9,30 @@ benchmarks report the resulting simulated I/O time next to the measured CPU
 time.  The I/O-bound vs CPU-bound crossovers the paper observes (SATA
 queries track storage size; NVMe queries expose CPU cost) emerge from the
 same arithmetic.
+
+Devices are shared by every partition living in one storage environment, so
+with the parallel query executor multiple worker threads charge I/O
+concurrently.  Two mechanisms support that:
+
+* the global counters are guarded by a lock, and
+* :meth:`SimulatedStorageDevice.accounting_scope` opens a *thread-local*
+  scope that additionally accumulates every operation recorded from the
+  current thread.  The executor wraps each partition pipeline in a scope,
+  giving exact per-partition byte counts without racy snapshot/diff windows.
+
+``throttle`` optionally turns the simulated cost of each operation into a
+real ``time.sleep`` (scaled by the throttle factor).  It exists so tests and
+benchmarks can observe genuine wall-clock overlap when partitions execute in
+parallel — sleeping releases the GIL, exactly like real device waits would.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator
 
 from ..config import DEVICE_PROFILES, DeviceKind
 
@@ -65,9 +83,12 @@ class SimulatedStorageDevice:
     traffic classes (data, log, look-aside file) are tracked so experiments
     can attribute costs the way the paper discusses them (e.g. "ingestion
     was bottlenecked by flushing transaction log records").
+
+    Thread-safe: counters are locked, and per-thread accounting scopes let
+    concurrent partition pipelines keep exact private byte counts.
     """
 
-    def __init__(self, kind: DeviceKind = DeviceKind.NVME_SSD) -> None:
+    def __init__(self, kind: DeviceKind = DeviceKind.NVME_SSD, throttle: float = 0.0) -> None:
         self.kind = kind
         profile = DEVICE_PROFILES[kind]
         self.read_bandwidth = profile["read_bandwidth"]
@@ -75,21 +96,61 @@ class SimulatedStorageDevice:
         self.seek_latency = profile["seek_latency"]
         self.stats = IOStats()
         self.per_class: Dict[str, IOStats] = {}
+        #: Fraction of each operation's simulated seconds to actually sleep
+        #: (0.0 = pure accounting; >1.0 stretches device time for tests that
+        #: must observe wall-clock overlap).  Mutable at any time.
+        self.throttle = throttle
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     # -- recording -------------------------------------------------------------
 
     def record_read(self, nbytes: int, io_class: str = "data") -> None:
-        self.stats.add_read(nbytes)
-        self._class_stats(io_class).add_read(nbytes)
+        with self._lock:
+            self.stats.add_read(nbytes)
+            self._class_stats(io_class).add_read(nbytes)
+        for scope in getattr(self._local, "scopes", ()):
+            scope.add_read(nbytes)
+        if self.throttle > 0.0:
+            time.sleep((nbytes / self.read_bandwidth + self.seek_latency) * self.throttle)
 
     def record_write(self, nbytes: int, io_class: str = "data") -> None:
-        self.stats.add_write(nbytes)
-        self._class_stats(io_class).add_write(nbytes)
+        with self._lock:
+            self.stats.add_write(nbytes)
+            self._class_stats(io_class).add_write(nbytes)
+        for scope in getattr(self._local, "scopes", ()):
+            scope.add_write(nbytes)
+        if self.throttle > 0.0:
+            time.sleep((nbytes / self.write_bandwidth + self.seek_latency) * self.throttle)
 
     def _class_stats(self, io_class: str) -> IOStats:
         if io_class not in self.per_class:
             self.per_class[io_class] = IOStats()
         return self.per_class[io_class]
+
+    @contextmanager
+    def accounting_scope(self) -> Iterator[IOStats]:
+        """Collect every operation recorded *from this thread* while open.
+
+        Scopes nest, and each thread sees only its own stack, so concurrent
+        partition workers get precise private counters while the shared
+        global counters keep accumulating under the lock.
+        """
+        scope = IOStats()
+        stack = getattr(self._local, "scopes", None)
+        if stack is None:
+            stack = []
+            self._local.scopes = stack
+        stack.append(scope)
+        try:
+            yield scope
+        finally:
+            # Pop by position, not list.remove(): IOStats compares by value,
+            # so remove() could pop a different (equal-counter) nested scope.
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is scope:
+                    del stack[index]
+                    break
 
     # -- simulated time ----------------------------------------------------------
 
@@ -113,11 +174,13 @@ class SimulatedStorageDevice:
 
     def snapshot(self) -> IOStats:
         """Copy of the current counters (use with :meth:`IOStats.diff`)."""
-        return self.stats.copy()
+        with self._lock:
+            return self.stats.copy()
 
     def reset(self) -> None:
-        self.stats = IOStats()
-        self.per_class = {}
+        with self._lock:
+            self.stats = IOStats()
+            self.per_class = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -102,6 +102,22 @@ class TestDatasetBehaviour:
         schemas = dataset.schemas()
         assert all(schema is not None for schema in schemas.values())
 
+    def test_bare_constructor_syncs_environment_storage_config(self):
+        """Regression: Dataset(config, envs) — not just Dataset.create — must
+        carry the environment's StorageConfig into dataset.config.storage, or
+        the access-path cost model prices against the wrong device profile
+        and page size."""
+        environment = StorageEnvironment(StorageConfig(
+            page_size=4096, device_kind=DeviceKind.SATA_SSD))
+        dataset = Dataset(DatasetConfig(name="bare"), [environment])
+        assert dataset.config.storage is environment.config
+        assert dataset.config.storage.device_kind is DeviceKind.SATA_SSD
+        assert dataset.config.storage.page_size == 4096
+        # Dataset.create keeps doing the same thing.
+        created = Dataset.create("created", environment=StorageEnvironment(
+            StorageConfig(page_size=8192)))
+        assert created.config.storage.page_size == 8192
+
     def test_bulk_load(self):
         dataset = _dataset(StorageFormat.INFERRED, partitions=2)
         dataset.bulk_load(RECORDS)
