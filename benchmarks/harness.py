@@ -308,6 +308,23 @@ def check_results_agree(measurements: Dict, queries: Iterable[str],
                     len(counts) == 1)
 
 
+def lifecycle_columns(report: FeedReport) -> Dict[str, Any]:
+    """Flush/merge lifecycle metrics every ingest table reports (and exports
+    into the benchmark JSON via ``benchmark.extra_info``)."""
+    return {"Flushes": report.flushes, "Merges": report.merges,
+            "Write amp": report.write_amplification,
+            "Stall (s)": report.ingest_stall_seconds}
+
+
+def lifecycle_json(row: Dict[str, Any], **extra: Any) -> Dict[str, Any]:
+    """One ``benchmark.extra_info`` entry built from a table row."""
+    entry = {"flushes": row["Flushes"], "merges": row["Merges"],
+             "write_amplification": row["Write amp"],
+             "ingest_stall_seconds": row["Stall (s)"]}
+    entry.update(extra)
+    return entry
+
+
 def mb(n_bytes: float) -> float:
     return n_bytes / (1024 * 1024)
 

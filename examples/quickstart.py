@@ -25,8 +25,14 @@ from repro.query import Func, QueryExecutor, field, scan
 def main() -> None:
     # CREATE DATASET Employee(EmployeeType) PRIMARY KEY id
     #   WITH {"tuple-compactor-enabled": true};
-    employees = Dataset.create("Employee", StorageFormat.INFERRED, primary_key="id")
+    # The context manager quiesces background LSM maintenance (flushes and
+    # merges scheduled off the ingest path when REPRO_LSM_SCHEDULER is set)
+    # deterministically on exit; with synchronous maintenance it is a no-op.
+    with Dataset.create("Employee", StorageFormat.INFERRED, primary_key="id") as employees:
+        run_demo(employees)
 
+
+def run_demo(employees: Dataset) -> None:
     print("== Ingesting records (paper Figures 9 and 10) ==")
     employees.insert({"id": 0, "name": "Kim", "age": 26})
     employees.insert({"id": 1, "name": "John", "age": 22})

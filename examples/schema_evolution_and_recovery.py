@@ -31,7 +31,13 @@ def show_components(dataset: Dataset) -> None:
 
 def main() -> None:
     environment = StorageEnvironment()
-    dataset = Dataset.create("events", StorageFormat.INFERRED, environment=environment)
+    # The with-block is the drain/close protocol: on exit, any background
+    # flushes/merges are quiesced deterministically (no-op in sync mode).
+    with Dataset.create("events", StorageFormat.INFERRED, environment=environment) as dataset:
+        run_phases(dataset, environment)
+
+
+def run_phases(dataset: Dataset, environment: StorageEnvironment) -> None:
 
     print("== Phase 1: the schema evolves across flushes ==")
     dataset.insert({"id": 1, "kind": "click", "value": 10})

@@ -70,6 +70,10 @@ def main() -> None:
     print()
     print("Q3 top sensors:", inferred.query(sensors.SQLPP["Q3"]).rows[:3])
 
+    # Quiesce background LSM maintenance (no-op when running synchronously).
+    for dataset in datasets.values():
+        dataset.close()
+
 
 if __name__ == "__main__":
     main()

@@ -20,7 +20,7 @@ Run with::
 
 import sys
 
-from repro import Dataset, DeviceKind, StorageEnvironment, StorageFormat
+from repro import Dataset, DeviceKind, LSMConfig, StorageEnvironment, StorageFormat
 from repro.cluster import DataFeed
 from repro.datasets import twitter
 from repro.query import QueryExecutor
@@ -28,9 +28,13 @@ from repro.query import QueryExecutor
 
 def build(storage_format: StorageFormat, compression, records):
     environment = StorageEnvironment.for_device(DeviceKind.SATA_SSD, compression=compression)
+    # Ingest with the asynchronous LSM lifecycle: flushes/merges run on a
+    # background scheduler and, with several partitions, one ingest thread
+    # per partition keeps the feed overlapping with maintenance.
     dataset = Dataset.create(f"tweets_{storage_format.value}_{compression or 'raw'}",
-                             storage_format, environment=environment)
-    feed = DataFeed(dataset)
+                             storage_format, environment=environment, partitions=2,
+                             lsm=LSMConfig(background_maintenance=True))
+    feed = DataFeed(dataset, per_partition_ingest=True)
     report = feed.run(records)
     feed.close()
     return dataset, report
@@ -74,6 +78,10 @@ def main() -> None:
     inferred = datasets["inferred (tuple compactor), uncompressed"]
     print("Inferred schema (first partition), abbreviated to 15 lines:")
     print("\n".join(inferred.describe_schema().splitlines()[:15]))
+
+    # Quiesce the background flush/merge workers deterministically.
+    for dataset in datasets.values():
+        dataset.close()
 
 
 if __name__ == "__main__":

@@ -40,12 +40,14 @@ from .config import (
     ClusterConfig,
     DatasetConfig,
     DeviceKind,
+    LSM_SCHEDULER_ENV_VAR,
     LSMConfig,
     StorageConfig,
     StorageFormat,
 )
 from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
-from .errors import ReproError, SqlppError
+from .errors import ReproError, SchedulerError, SqlppError
+from .lsm import LSMIOScheduler
 from .sqlpp import CompiledCreateIndex, CompiledQuery, parse, unparse
 from .sqlpp import compile as compile_sqlpp
 from .schema import InferredSchema
@@ -77,7 +79,10 @@ __all__ = [
     "TupleCompactor",
     "InferredSchema",
     "ReproError",
+    "SchedulerError",
     "SqlppError",
+    "LSMIOScheduler",
+    "LSM_SCHEDULER_ENV_VAR",
     "parse",
     "unparse",
     "compile_sqlpp",

@@ -47,5 +47,19 @@ class NodeController:
     def simulated_io_seconds(self) -> float:
         return self.environment.simulated_io_seconds()
 
+    def maintenance_io_seconds(self) -> float:
+        """Simulated device seconds spent on background flush/merge traffic.
+
+        Background maintenance workers tag their I/O with the "maintenance"
+        class (see :meth:`~repro.storage.SimulatedStorageDevice.io_class_scope`),
+        so this isolates the device time the asynchronous LSM lifecycle moved
+        off this node's ingest path.  Zero under synchronous maintenance.
+        """
+        device = self.environment.device
+        stats = device.per_class.get("maintenance")
+        if stats is None:
+            return 0.0
+        return device.simulated_seconds(stats)
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"NodeController(node_id={self.node_id}, partitions={self.partitions_per_node})"

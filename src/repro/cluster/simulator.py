@@ -78,8 +78,14 @@ class ClusterSimulator:
 
     def create_dataset(self, name: str, storage_format: StorageFormat = StorageFormat.OPEN,
                        datatype: Optional[Datatype] = None, primary_key: str = "id",
-                       dataset_config: Optional[DatasetConfig] = None) -> Dataset:
-        """Create a dataset spread over every node's partitions."""
+                       dataset_config: Optional[DatasetConfig] = None,
+                       background_maintenance: Optional[bool] = None) -> Dataset:
+        """Create a dataset spread over every node's partitions.
+
+        ``background_maintenance`` forces the asynchronous LSM lifecycle on
+        (or off) for this dataset; ``None`` keeps the config/environment
+        default (the ``REPRO_LSM_SCHEDULER`` variable).
+        """
         if name in self.datasets:
             raise ClusterError(f"dataset {name!r} already exists in this cluster")
         config = dataset_config or DatasetConfig(
@@ -87,6 +93,11 @@ class ClusterSimulator:
             tuple_compactor_enabled=storage_format is StorageFormat.INFERRED,
             storage=self.storage_config,
         )
+        if background_maintenance is not None:
+            from dataclasses import replace
+
+            config = replace(config, lsm=replace(
+                config.lsm, background_maintenance=background_maintenance))
         datatype = datatype or open_only_primary_key(f"{name}Type", primary_key)
         dataset = Dataset(config, [node.environment for node in self.nodes],
                           partitions_per_environment=self.config.partitions_per_node,
@@ -100,6 +111,24 @@ class ClusterSimulator:
             return self.datasets[name]
         except KeyError as exc:
             raise ClusterError(f"unknown dataset {name!r}") from exc
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def drain(self) -> None:
+        """Wait for every dataset's background maintenance to go quiet."""
+        for dataset in self.datasets.values():
+            dataset.drain()
+
+    def close(self) -> None:
+        """Quiesce and close every dataset in the cluster.  Idempotent."""
+        for dataset in self.datasets.values():
+            dataset.close()
+
+    def __enter__(self) -> "ClusterSimulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ cluster-wide metrics
 

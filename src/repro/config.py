@@ -11,8 +11,20 @@ be described declaratively and reproduced from its configuration alone.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Optional
+
+#: Environment variable turning background LSM maintenance on by default for
+#: datasets whose :class:`LSMConfig` leaves ``background_maintenance`` unset
+#: (``None``).  Accepted truthy values: "1", "true", "on", "yes".
+LSM_SCHEDULER_ENV_VAR = "REPRO_LSM_SCHEDULER"
+
+
+def lsm_scheduler_env_default() -> bool:
+    """Whether :data:`LSM_SCHEDULER_ENV_VAR` asks for background maintenance."""
+    return os.environ.get(LSM_SCHEDULER_ENV_VAR, "").strip().lower() in (
+        "1", "true", "on", "yes")
 
 
 class StorageFormat(enum.Enum):
@@ -115,6 +127,42 @@ class LSMConfig:
     #: Keep a primary-key-only index to cheapen upsert existence checks
     #: (Luo & Carey's optimization the paper adopts for Figure 17b).
     maintain_primary_key_index: bool = True
+    #: Run flushes and merges on a background scheduler (AsterixDB-style
+    #: asynchronous LSM lifecycle) instead of inline on the writer's thread.
+    #: ``None`` defers to the ``REPRO_LSM_SCHEDULER`` environment variable
+    #: (off unless set); an explicit ``True``/``False`` always wins.
+    #: Synchronous mode remains the escape hatch: parity between the two
+    #: modes holds by construction (same entries, same flush order).
+    background_maintenance: Optional[bool] = None
+    #: Background scheduler: worker threads running flushes (across all of a
+    #: dataset's partitions — per-index flushes stay serialized in seal order).
+    max_flush_workers: int = 2
+    #: Background scheduler: worker threads running merges.
+    max_merge_workers: int = 1
+    #: Backpressure: how many *sealed* (immutable, flush-pending) memtables a
+    #: partition may accumulate before its writer blocks waiting for a flush
+    #: to complete (AsterixDB's "wait for the flush to finish" behaviour).
+    max_sealed_memtables: int = 2
+    #: Backpressure: while a merge is pending/in flight, writers also stall
+    #: once this many on-disk components pile up (merge debt), so ingestion
+    #: cannot outrun maintenance indefinitely.
+    max_merge_debt: int = 12
+
+    def __post_init__(self) -> None:
+        if self.max_flush_workers < 1:
+            raise ValueError("max_flush_workers must be >= 1")
+        if self.max_merge_workers < 1:
+            raise ValueError("max_merge_workers must be >= 1")
+        if self.max_sealed_memtables < 1:
+            raise ValueError("max_sealed_memtables must be >= 1")
+        if self.max_merge_debt < 2:
+            raise ValueError("max_merge_debt must be >= 2")
+
+    def resolved_background_maintenance(self) -> bool:
+        """The effective background-maintenance setting (config wins over env)."""
+        if self.background_maintenance is None:
+            return lsm_scheduler_env_default()
+        return self.background_maintenance
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 
 from ..config import DatasetConfig, StorageFormat
 from ..errors import DatasetError
+from ..lsm import LSMIOScheduler
 from ..schema import InferredSchema
 from ..types import Datatype, open_only_primary_key
 from .environment import StorageEnvironment
@@ -64,11 +65,21 @@ class Dataset:
         self.datatype = datatype if datatype is not None else open_only_primary_key(
             f"{config.name}Type", config.primary_key)
         self.environments = list(environments)
+        # Background LSM lifecycle: when enabled (config knob or the
+        # REPRO_LSM_SCHEDULER environment variable), all partitions share one
+        # bounded scheduler that runs flushes and merges off the ingest path.
+        self.scheduler: Optional[LSMIOScheduler] = None
+        if config.lsm.resolved_background_maintenance():
+            self.scheduler = LSMIOScheduler(
+                max_flush_workers=config.lsm.max_flush_workers,
+                max_merge_workers=config.lsm.max_merge_workers)
+        self._closed = False
         self.partitions: List[Partition] = []
         partition_id = 0
         for environment in self.environments:
             for _ in range(partitions_per_environment):
-                self.partitions.append(Partition(config, partition_id, environment, self.datatype))
+                self.partitions.append(Partition(config, partition_id, environment,
+                                                 self.datatype, scheduler=self.scheduler))
                 partition_id += 1
 
     # ------------------------------------------------------------------ factory
@@ -136,6 +147,48 @@ class Dataset:
     def flush_all(self) -> None:
         for partition in self.partitions:
             partition.flush()
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @property
+    def background_maintenance(self) -> bool:
+        """Whether this dataset runs flushes/merges on a background scheduler."""
+        return self.scheduler is not None
+
+    def drain(self) -> None:
+        """Wait for all in-flight background flushes/merges to finish.
+
+        A quiescence barrier, not a flush: whatever is still in the mutable
+        memtables stays there (call :meth:`flush_all` to persist it).  No-op
+        in synchronous mode.  Raises :class:`~repro.errors.SchedulerError`
+        if a background operation failed.
+        """
+        for partition in self.partitions:
+            partition.drain()
+
+    def close(self) -> None:
+        """Quiesce background maintenance deterministically.  Idempotent.
+
+        Drains every partition's in-flight flushes and merges, then shuts
+        the scheduler's worker pools down.  The dataset remains readable —
+        and even writable: post-close writes fall back to synchronous,
+        inline maintenance, the default-off escape hatch mode.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.scheduler is None:
+            return
+        try:
+            self.drain()
+        finally:
+            self.scheduler.close()
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ reads
 
@@ -258,9 +311,10 @@ class Dataset:
     def storage_size(self) -> int:
         return sum(partition.storage_size() for partition in self.partitions)
 
-    def ingest_stats(self) -> Dict[str, int]:
+    def ingest_stats(self) -> Dict[str, float]:
         totals = {"inserts": 0, "deletes": 0, "upserts": 0, "flushes": 0, "merges": 0,
-                  "maintenance_point_lookups": 0, "bytes_flushed": 0, "bytes_merged": 0}
+                  "maintenance_point_lookups": 0, "bytes_flushed": 0, "bytes_merged": 0,
+                  "ingest_stall_seconds": 0.0}
         for partition in self.partitions:
             stats = partition.index.stats
             for field_name in totals:

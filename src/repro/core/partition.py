@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..config import DatasetConfig
-from ..lsm import LSMBTree, SecondaryIndexDef, make_merge_policy, recover_index
+from ..lsm import LSMBTree, LSMIOScheduler, SecondaryIndexDef, make_merge_policy, recover_index
 from ..lsm.lifecycle import FlushCallback
 from ..schema import InferredSchema
 from ..types import AMultiset, Datatype, Missing
@@ -39,7 +39,8 @@ class Partition:
     """A single hash-partition of a dataset on one node."""
 
     def __init__(self, config: DatasetConfig, partition_id: int,
-                 environment: StorageEnvironment, datatype: Optional[Datatype]) -> None:
+                 environment: StorageEnvironment, datatype: Optional[Datatype],
+                 scheduler: Optional[LSMIOScheduler] = None) -> None:
         self.config = config
         self.partition_id = partition_id
         self.environment = environment
@@ -65,6 +66,9 @@ class Partition:
             flush_callback=callback,
             wal=environment.wal,
             maintain_primary_key_index=config.lsm.maintain_primary_key_index,
+            scheduler=scheduler,
+            max_sealed_memtables=config.lsm.max_sealed_memtables,
+            max_merge_debt=config.lsm.max_merge_debt,
         )
 
     # ------------------------------------------------------------------ writes
@@ -92,6 +96,10 @@ class Partition:
 
     def flush(self) -> None:
         self.index.flush()
+
+    def drain(self) -> None:
+        """Wait until this partition's background flushes/merges are quiet."""
+        self.index.drain_maintenance()
 
     # ------------------------------------------------------------------ reads
 
@@ -175,7 +183,9 @@ class Partition:
         """
         with self.index.read_guard():
             memtable_keys = set()
-            for entry in self.index.memory_component.sorted_entries():
+            # Sweep the mutable *and* sealed memtables (reconciled newest
+            # wins): sealed entries are not secondary-indexed yet either.
+            for entry in self.index.memory_entries_snapshot():
                 memtable_keys.add(entry.key)
                 if entry.is_antimatter:
                     continue

@@ -67,6 +67,25 @@ class ComponentStateError(ReproError):
     """
 
 
+class MaintenanceDecodeError(ComponentStateError):
+    """A delete/upsert needed to decode a stored payload but the index's
+    flush callback provides no ``decode_record()`` method.
+
+    Raised by :meth:`~repro.lsm.LSMBTree._decode_for_maintenance` when an
+    anti-schema fetch (paper §3.2.2) hits an index that stores opaque
+    payloads it cannot interpret.
+    """
+
+
+class SchedulerError(ReproError):
+    """The background LSM maintenance scheduler failed or was misused.
+
+    Wraps the first exception raised by a background flush/merge worker so
+    the writer thread (or a ``drain()``/``close()`` call) surfaces it instead
+    of hanging; also raised when work is submitted to a closed scheduler.
+    """
+
+
 class DatasetError(ReproError):
     """Dataset-level misuse (unknown dataset, duplicate creation, ...)."""
 

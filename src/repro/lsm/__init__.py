@@ -10,7 +10,13 @@ from .component import (
 )
 from .component_id import ComponentId
 from .lifecycle import FlushCallback
-from .lsm_index import IngestStats, LSMBTree, SearchResult, SecondaryIndexDef
+from .lsm_index import (
+    IngestStats,
+    LSMBTree,
+    SealedMemtable,
+    SearchResult,
+    SecondaryIndexDef,
+)
 from .merge_policy import (
     ConstantMergePolicy,
     MergePolicy,
@@ -19,6 +25,7 @@ from .merge_policy import (
     make_merge_policy,
 )
 from .recovery import RecoveryReport, recover_index
+from .scheduler import LSMIOScheduler, SchedulerStats
 
 __all__ = [
     "ComponentId",
@@ -40,4 +47,7 @@ __all__ = [
     "make_merge_policy",
     "RecoveryReport",
     "recover_index",
+    "SealedMemtable",
+    "LSMIOScheduler",
+    "SchedulerStats",
 ]

@@ -16,12 +16,19 @@ from __future__ import annotations
 
 import heapq
 import threading
-from contextlib import contextmanager
+import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..btree import BTree, BulkLoader, LeafEntry
-from ..errors import ComponentStateError, DuplicateKeyError, KeyNotFoundError
+from ..errors import (
+    ComponentStateError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    MaintenanceDecodeError,
+    SchedulerError,
+)
 from ..schema import InferredSchema
 from ..storage.buffer_cache import BufferCache
 from ..storage.wal import LogRecordType, WriteAheadLog
@@ -35,6 +42,7 @@ from .component import (
 from .component_id import ComponentId
 from .lifecycle import FlushCallback
 from .merge_policy import MergePolicy, NoMergePolicy
+from .scheduler import LSMIOScheduler
 
 
 @dataclass
@@ -67,6 +75,25 @@ class IngestStats:
     maintenance_point_lookups: int = 0
     bytes_flushed: int = 0
     bytes_merged: int = 0
+    #: Wall seconds the writer spent blocked in backpressure waits (sealed
+    #: memtables at the cap, or merge debt) under background maintenance.
+    ingest_stall_seconds: float = 0.0
+
+
+@dataclass
+class SealedMemtable:
+    """An immutable, flush-pending in-memory component.
+
+    Sealed at memtable rotation: the writer moves its full mutable memtable
+    here, installs a fresh empty one, and hands this object to the background
+    flush pipeline.  ``up_to_lsn`` records the last WAL position the sealed
+    entries cover, so the flush that persists them truncates exactly that
+    prefix of the partition's log — entries logged after the seal (living in
+    newer memtables) survive for crash recovery.
+    """
+
+    memtable: InMemoryComponent
+    up_to_lsn: int
 
 
 @dataclass
@@ -88,7 +115,10 @@ class LSMBTree:
                  flush_callback: Optional[FlushCallback] = None,
                  wal: Optional[WriteAheadLog] = None,
                  maintain_primary_key_index: bool = False,
-                 check_duplicate_keys: bool = False) -> None:
+                 check_duplicate_keys: bool = False,
+                 scheduler: Optional[LSMIOScheduler] = None,
+                 max_sealed_memtables: int = 2,
+                 max_merge_debt: int = 12) -> None:
         self.name = name
         self.partition = partition
         self.buffer_cache = buffer_cache
@@ -98,8 +128,17 @@ class LSMBTree:
         self.wal = wal
         self.maintain_primary_key_index = maintain_primary_key_index
         self.check_duplicate_keys = check_duplicate_keys
+        #: Background maintenance scheduler; ``None`` = synchronous mode
+        #: (flushes and merges run inline on the writer's thread).
+        self.scheduler = scheduler
+        self.max_sealed_memtables = max_sealed_memtables
+        self.max_merge_debt = max_merge_debt
 
         self.memory_component = InMemoryComponent()
+        #: Sealed (immutable, flush-pending) memtables, oldest first.  Only
+        #: populated under background maintenance; flushed strictly in order
+        #: so component sequence numbers keep encoding recency.
+        self.sealed_memtables: List[SealedMemtable] = []
         #: On-disk components, newest first.
         self.components: List[OnDiskComponent] = []
         self.secondary_indexes: List[SecondaryIndexDef] = []
@@ -114,6 +153,17 @@ class LSMBTree:
         self._read_lock = threading.Lock()
         self._active_reads = 0
         self._deferred_drops: List[OnDiskComponent] = []
+        # Maintenance bookkeeping.  The maintenance lock serializes all
+        # structure-mutating operations (flush, merge) of this index — the
+        # background pools parallelize *across* partitions, never within one.
+        # The rotation condition guards the sealed-memtable list and the
+        # in-flight counters, and is what backpressured writers and
+        # drain_maintenance() wait on.
+        self._maintenance_lock = threading.Lock()
+        self._rotation_cond = threading.Condition()
+        self._inflight_flushes = 0
+        self._inflight_merges = 0
+        self._merge_scheduled = False
 
     # ------------------------------------------------------------------ naming
 
@@ -181,15 +231,32 @@ class LSMBTree:
             # by the schema, so carry forward whatever it was itself carrying.
             return memory_entry.antischema
 
-        if self.maintain_primary_key_index:
-            if not any(component.key_may_exist(key) for component in self.components):
+        for sealed in reversed(list(self.sealed_memtables)):  # newest first
+            entry = sealed.memtable.get(key)
+            if entry is None:
+                continue
+            if entry.is_antimatter:
                 return _NOT_FOUND
-        result = self._search_disk(key)
-        self.stats.maintenance_point_lookups += 1
-        if result is None:
-            return _NOT_FOUND
-        payload, component = result
-        record = self._decode_for_maintenance(payload, component)
+            # A sealed version *will* be observed by the schema: its flush is
+            # ordered before the mutable memtable's flush, so by the time this
+            # new entry's anti-schema is processed the old version has been
+            # counted — decrement it like a disk-resident version.
+            return extract_antischema(entry.record)
+
+        # Guarded like the query paths: with background maintenance a merge
+        # worker may retire components concurrently with this writer-thread
+        # lookup, and the read guard keeps the snapshotted components' files
+        # alive until the lookup finishes.
+        with self.read_guard():
+            if self.maintain_primary_key_index:
+                if not any(component.key_may_exist(key) for component in list(self.components)):
+                    return _NOT_FOUND
+            result = self._search_disk(key)
+            self.stats.maintenance_point_lookups += 1
+            if result is None:
+                return _NOT_FOUND
+            payload, component = result
+            record = self._decode_for_maintenance(payload, component)
         return extract_antischema(record)
 
     def _decode_for_maintenance(self, payload: bytes, component: OnDiskComponent) -> Dict[str, Any]:
@@ -197,37 +264,82 @@ class LSMBTree:
         decoder = getattr(self.flush_callback, "decode_record", None)
         if decoder is not None:
             return decoder(payload, component.schema)
-        raise ComponentStateError(
+        raise MaintenanceDecodeError(
             "this index stores opaque payloads; deletes/upserts need a flush callback "
             "with a decode_record() method"
         )
 
-    def _exists_anywhere(self, key: Any) -> bool:
+    def _memory_lookup(self, key: Any) -> Optional[MemEntry]:
+        """Newest in-memory version of ``key``: mutable, then sealed memtables."""
         entry = self.memory_component.get(key)
         if entry is not None:
+            return entry
+        for sealed in reversed(list(self.sealed_memtables)):  # newest first
+            entry = sealed.memtable.get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def _exists_anywhere(self, key: Any) -> bool:
+        entry = self._memory_lookup(key)
+        if entry is not None:
             return not entry.is_antimatter
-        return self._search_disk(key) is not None
+        with self.read_guard():  # survive a concurrent background merge
+            return self._search_disk(key) is not None
 
     def _log(self, record_type: LogRecordType, key: Any, payload: bytes) -> None:
         if self.wal is not None:
             self.wal.append(record_type, self.name, self.partition, key=key, payload=payload)
 
     def _flush_if_full(self) -> None:
-        if self.memory_component.size_bytes >= self.memory_budget:
+        if self.memory_component.size_bytes < self.memory_budget:
+            return
+        if self._background_active():
+            self._rotate_and_submit()
+        else:
             self.flush()
+
+    def _background_active(self) -> bool:
+        return self.scheduler is not None and not self.scheduler.closed
 
     # ------------------------------------------------------------------ flush
 
     def flush(self, fail_before_footer: bool = False) -> Optional[OnDiskComponent]:
-        """Flush the in-memory component into a new on-disk component."""
-        if self.memory_component.is_empty:
+        """Flush the in-memory component into a new on-disk component.
+
+        Under background maintenance this is a *synchronous barrier*: it
+        first drains every pending sealed-memtable flush and merge of this
+        index (preserving flush order), then flushes the mutable memtable
+        inline, then drains again so a merge the flush scheduled has settled
+        before returning — callers like ``flush_all()`` and feed ``close()``
+        keep their deterministic semantics.
+        """
+        if self._background_active():
+            self.drain_maintenance()
+            with self._maintenance_lock:
+                component = self._flush_memtable(self.memory_component,
+                                                 fail_before_footer=fail_before_footer)
+            self.drain_maintenance()
+            return component
+        with self._maintenance_lock:
+            return self._flush_memtable(self.memory_component,
+                                        fail_before_footer=fail_before_footer)
+
+    def _flush_memtable(self, memtable: InMemoryComponent,
+                        up_to_lsn: Optional[int] = None,
+                        fail_before_footer: bool = False) -> Optional[OnDiskComponent]:
+        """Flush one memtable (mutable or sealed); caller holds the
+        maintenance lock.  ``up_to_lsn`` bounds the WAL truncation for sealed
+        memtables; ``None`` means "everything logged so far" (the synchronous
+        path, where the memtable covers the whole unflushed log)."""
+        if memtable.is_empty:
             return None
         component_id = ComponentId.flushed(self._next_sequence)
         callback = self.flush_callback
         callback.begin_flush(component_id)
 
         leaf_entries: List[LeafEntry] = []
-        for entry in self.memory_component.sorted_entries():
+        for entry in memtable.sorted_entries():
             if entry.antischema is not None or entry.is_antimatter:
                 callback.process_antischema(entry.antischema)
             if entry.is_antimatter:
@@ -252,12 +364,150 @@ class LSMBTree:
         self.stats.bytes_flushed += component.size_bytes()
 
         if self.wal is not None:
-            last_lsn = self.wal.last_lsn
+            covered_lsn = self.wal.last_lsn if up_to_lsn is None else up_to_lsn
             self.wal.append(LogRecordType.FLUSH_END, self.name, self.partition)
-            self.wal.truncate(last_lsn)
-        self.memory_component.clear()
-        self.maybe_merge()
+            # Per-partition truncation: the log is shared across partitions,
+            # and under background flushing only the sealed prefix of *this*
+            # partition's records is covered by the new component.
+            self.wal.truncate_partition(self.name, self.partition, covered_lsn)
+        if memtable is self.memory_component:
+            memtable.clear()
+        self._after_flush_maintenance()
         return component
+
+    def _after_flush_maintenance(self) -> None:
+        """Run (synchronous) or schedule (background) the post-flush merge."""
+        if not self._background_active():
+            self.maybe_merge()
+            return
+        with self._rotation_cond:
+            if self._merge_scheduled:
+                return
+            if len(self.merge_policy.select_merge(self.components)) < 2:
+                return
+            self._merge_scheduled = True
+        try:
+            self.scheduler.submit_merge(self._background_merge)
+        except SchedulerError:
+            with self._rotation_cond:
+                self._merge_scheduled = False
+            self.maybe_merge()
+
+    # ------------------------------------------------------------------ background lifecycle
+
+    def _rotate_and_submit(self) -> None:
+        """Seal the mutable memtable and queue its flush on the scheduler.
+
+        Writer backpressure (AsterixDB-style) lives here: when the sealed
+        queue is at ``max_sealed_memtables``, or merge debt has piled past
+        ``max_merge_debt`` components while a merge is pending, the writer
+        blocks until maintenance catches up.  A failed background operation
+        surfaces as :class:`~repro.errors.SchedulerError` instead of hanging.
+        """
+        scheduler = self.scheduler
+        stall_started: Optional[float] = None
+        with self._rotation_cond:
+            while (len(self.sealed_memtables) >= self.max_sealed_memtables
+                   or self._merge_debt_exceeded()):
+                scheduler.raise_if_failed()
+                if stall_started is None:
+                    stall_started = time.perf_counter()
+                self._rotation_cond.wait(timeout=0.05)
+            if stall_started is not None:
+                self.stats.ingest_stall_seconds += time.perf_counter() - stall_started
+            if self.memory_component.is_empty:
+                return
+            sealed = SealedMemtable(
+                self.memory_component,
+                self.wal.last_lsn if self.wal is not None else 0)
+            # Ordering contract with readers: the memtable is appended to the
+            # sealed list *before* the fresh mutable one is installed, and
+            # readers snapshot the mutable memtable *before* the sealed list —
+            # so every entry is visible in at least one snapshot (duplicates
+            # reconcile by recency rank).
+            self.sealed_memtables.append(sealed)
+            self.memory_component = InMemoryComponent()
+            self._inflight_flushes += 1
+        try:
+            scheduler.submit_flush(self._background_flush)
+        except SchedulerError:
+            # Scheduler closed between the rotation and the submission: fall
+            # back to flushing the sealed memtable inline (synchronously).
+            self._background_flush()
+
+    def _merge_debt_exceeded(self) -> bool:
+        """True while a merge is pending and components have piled up past
+        the debt cap — never true without a merge in flight (no deadlock)."""
+        if not (self._merge_scheduled or self._inflight_merges):
+            return False
+        return len(self.components) >= self.max_merge_debt
+
+    def _background_flush(self) -> None:
+        """Flush the *oldest* sealed memtable (runs on a flush worker).
+
+        Tasks are anonymous — any worker executing any task pops the oldest
+        sealed memtable under the maintenance lock, so per-index flush order
+        matches seal order even with several flush workers.
+        """
+        try:
+            with self._maintenance_lock:
+                with self._rotation_cond:
+                    sealed = self.sealed_memtables[0] if self.sealed_memtables else None
+                if sealed is not None:
+                    with self._maintenance_io_scope():
+                        self._flush_memtable(sealed.memtable, up_to_lsn=sealed.up_to_lsn)
+                    # Pop only after the on-disk component is installed (and
+                    # while still holding the maintenance lock, so the next
+                    # flush task cannot observe this memtable again): readers
+                    # always find the entries in the sealed snapshot or the
+                    # component snapshot.
+                    with self._rotation_cond:
+                        self.sealed_memtables.pop(0)
+                        self._rotation_cond.notify_all()
+        finally:
+            with self._rotation_cond:
+                self._inflight_flushes -= 1
+                self._rotation_cond.notify_all()
+
+    def _background_merge(self) -> None:
+        """Re-evaluate the merge policy and merge (runs on a merge worker)."""
+        try:
+            with self._maintenance_lock:
+                with self._rotation_cond:
+                    self._merge_scheduled = False
+                    self._inflight_merges += 1
+                with self._maintenance_io_scope():
+                    selected = self.merge_policy.select_merge(self.components)
+                    if len(selected) >= 2:
+                        self.merge(selected)
+        finally:
+            with self._rotation_cond:
+                self._inflight_merges -= 1
+                self._rotation_cond.notify_all()
+
+    def _maintenance_io_scope(self):
+        """Tag this worker's device traffic with the "maintenance" I/O class."""
+        device = getattr(self.buffer_cache.file_manager, "device", None)
+        if device is None:
+            return nullcontext()
+        return device.io_class_scope("maintenance")
+
+    def drain_maintenance(self) -> None:
+        """Block until no sealed memtable, flush, or merge is outstanding.
+
+        The deterministic quiescence point of the background lifecycle:
+        ``Dataset.close()``/``flush_all()`` call this so post-drain state
+        (component counts, stats, WAL) is identical to synchronous mode's.
+        Raises :class:`~repro.errors.SchedulerError` if maintenance failed.
+        """
+        if self.scheduler is None:
+            return
+        with self._rotation_cond:
+            while (self.sealed_memtables or self._inflight_flushes
+                   or self._inflight_merges or self._merge_scheduled):
+                self.scheduler.raise_if_failed()
+                self._rotation_cond.wait(timeout=0.05)
+        self.scheduler.raise_if_failed()
 
     # ------------------------------------------------------------------ bulk load
 
@@ -270,7 +520,7 @@ class LSMBTree:
         pass, leaving one component with one schema.  The WAL is not
         involved (loads are not logged in AsterixDB either).
         """
-        if not self.memory_component.is_empty or self.components:
+        if not self.memory_component.is_empty or self.sealed_memtables or self.components:
             raise ComponentStateError("bulk load requires an empty index")
         if not rows:
             return None
@@ -644,7 +894,7 @@ class LSMBTree:
         ``_search_disk`` must keep its files alive across a concurrent merge.
         """
         with self.read_guard():
-            entry = self.memory_component.get(key)
+            entry = self._memory_lookup(key)
             if entry is not None:
                 if entry.is_antimatter:
                     return None
@@ -682,22 +932,32 @@ class LSMBTree:
             yield from self._scan_guarded()
 
     def _scan_guarded(self) -> Iterator[SearchResult]:
-        memory_entries = self.memory_component.sorted_entries()
+        # Snapshot order matters: mutable memtable first (rotation appends to
+        # the sealed list *before* installing a fresh mutable memtable), then
+        # the sealed memtables (flush completion installs the on-disk
+        # component *before* popping the sealed source), then the component
+        # list — every entry is visible in at least one snapshot, and
+        # duplicates reconcile by recency rank.
+        memory_snapshots: List[List[MemEntry]] = [self.memory_component.sorted_entries()]
+        for sealed in reversed(list(self.sealed_memtables)):  # newest first
+            memory_snapshots.append(sealed.memtable.sorted_entries())
         schema = self.current_schema()
         components = list(self.components)
 
-        # Sources: memtable (rank -1, most recent), then components by recency.
+        # Sources by recency: mutable memtable, sealed memtables newest
+        # first (negative ranks), then components (ranks 0..) by recency.
         sources: List[Tuple[int, Iterator[Tuple[Any, bool, bytes, Optional[Dict[str, Any]], Optional[InferredSchema]]]]] = []
 
-        def memory_iterator():
-            for entry in memory_entries:
+        def memory_iterator(entries: List[MemEntry]):
+            for entry in entries:
                 yield entry.key, entry.is_antimatter, entry.encoded, entry.record, schema
 
         def component_iterator(component: OnDiskComponent):
             for entry in component.scan():
                 yield entry.key, entry.is_antimatter, entry.value, None, component.schema
 
-        sources.append((-1, memory_iterator()))
+        for position, entries in enumerate(memory_snapshots):
+            sources.append((position - len(memory_snapshots), memory_iterator(entries)))
         for rank, component in enumerate(components):
             sources.append((rank, component_iterator(component)))
 
@@ -724,7 +984,7 @@ class LSMBTree:
             if key != current_key:
                 if best_item is not None and not best_item[1]:
                     yield SearchResult(best_item[0], best_item[2], best_item[4],
-                                       from_memory=best_rank == -1, record=best_item[3])
+                                       from_memory=best_rank < 0, record=best_item[3])
                 current_key = key
                 best_rank = rank
                 best_item = item
@@ -733,7 +993,7 @@ class LSMBTree:
                 best_item = item
         if best_item is not None and not best_item[1]:
             yield SearchResult(best_item[0], best_item[2], best_item[4],
-                               from_memory=best_rank == -1, record=best_item[3])
+                               from_memory=best_rank < 0, record=best_item[3])
 
     # ------------------------------------------------------------------ inspection
 
@@ -748,11 +1008,30 @@ class LSMBTree:
     def component_count(self) -> int:
         return len(self.components)
 
+    def memory_entries_snapshot(self) -> List[MemEntry]:
+        """Newest in-memory version of every key with an in-memory entry.
+
+        Reconciles the mutable memtable with the sealed (flush-pending)
+        memtables — the mutable version wins, then sealed newest-first — and
+        returns the winners in key order.  The index-probe path sweeps this
+        instead of the raw memtable, since sealed entries are not yet
+        secondary-indexed either.
+        """
+        merged: Dict[Any, MemEntry] = {}
+        mutable_snapshot = self.memory_component.sorted_entries()
+        for sealed in list(self.sealed_memtables):  # oldest -> newest
+            for entry in sealed.memtable.sorted_entries():
+                merged[entry.key] = entry
+        for entry in mutable_snapshot:
+            merged[entry.key] = entry
+        return sorted(merged.values(), key=lambda entry: entry.key)
+
     def record_count(self) -> int:
-        """Live records across disk components and the memtable (approximate:
-        exact when keys are not duplicated across components)."""
-        disk = sum(component.record_count for component in self.components)
-        memory = sum(1 for entry in self.memory_component.iter_entries() if not entry.is_antimatter)
+        """Live records across disk components and the memtables (approximate:
+        exact when keys are not duplicated across components/memtables)."""
+        disk = sum(component.record_count for component in list(self.components))
+        memory = sum(1 for entry in self.memory_entries_snapshot()
+                     if not entry.is_antimatter)
         return disk + memory
 
     def exact_count(self) -> int:

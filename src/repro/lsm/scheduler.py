@@ -1,0 +1,183 @@
+"""Background LSM maintenance scheduler: asynchronous flushes and merges.
+
+The paper's tuple-compaction framework piggybacks on AsterixDB's LSM
+lifecycle, where flushes and merges are *asynchronous* I/O operations that
+overlap ingestion (§2.2: the tree manager schedules them on dedicated
+threads while the writer keeps appending to a fresh in-memory component).
+:class:`LSMIOScheduler` reproduces that lifecycle: two bounded worker pools
+— one for flushes, one for merges — run maintenance off the ingest path,
+while :class:`~repro.lsm.LSMBTree` handles memtable rotation, sealing, and
+writer backpressure.
+
+Design contract with the index:
+
+* **Per-index ordering** — an index's sealed memtables must flush oldest
+  first (component sequence numbers encode recency).  The scheduler does not
+  order tasks itself; each submitted flush task pops *the oldest* sealed
+  memtable under the index's maintenance lock, so any worker executing any
+  task preserves seal order.
+* **Failure propagation** — the first exception raised by a background task
+  is recorded and re-raised (wrapped in :class:`~repro.errors.SchedulerError`)
+  by the writer's backpressure wait, by :meth:`drain`, and by :meth:`close`,
+  so a failed flush surfaces deterministically instead of hanging writers.
+* **Quiescence** — :meth:`drain` blocks until every submitted task has
+  finished; :meth:`close` drains, then shuts the pools down.  Both are
+  idempotent, and a closed scheduler makes indexes fall back to synchronous
+  (inline) maintenance, so ``Dataset.close()`` is safe to call twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import SchedulerError
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing one scheduler's lifetime activity."""
+
+    flushes_submitted: int = 0
+    flushes_completed: int = 0
+    merges_submitted: int = 0
+    merges_completed: int = 0
+
+
+class LSMIOScheduler:
+    """Bounded worker pools executing LSM flushes and merges asynchronously."""
+
+    def __init__(self, max_flush_workers: int = 2, max_merge_workers: int = 1) -> None:
+        if max_flush_workers < 1:
+            raise SchedulerError("max_flush_workers must be >= 1")
+        if max_merge_workers < 1:
+            raise SchedulerError("max_merge_workers must be >= 1")
+        self.max_flush_workers = max_flush_workers
+        self.max_merge_workers = max_merge_workers
+        self._flush_pool = ThreadPoolExecutor(
+            max_workers=max_flush_workers, thread_name_prefix="repro-lsm-flush")
+        self._merge_pool = ThreadPoolExecutor(
+            max_workers=max_merge_workers, thread_name_prefix="repro-lsm-merge")
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending = 0
+        self._closed = False
+        self._failure: Optional[BaseException] = None
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------ submission
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit_flush(self, task: Callable[[], None]) -> Future:
+        """Queue one flush task (must be safe to run on any flush worker)."""
+        return self._submit(self._flush_pool, task, is_merge=False)
+
+    def submit_merge(self, task: Callable[[], None]) -> Future:
+        """Queue one merge task."""
+        return self._submit(self._merge_pool, task, is_merge=True)
+
+    def _submit(self, pool: ThreadPoolExecutor, task: Callable[[], None],
+                is_merge: bool) -> Future:
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("cannot submit work to a closed scheduler")
+            self._pending += 1
+            if is_merge:
+                self.stats.merges_submitted += 1
+            else:
+                self.stats.flushes_submitted += 1
+        try:
+            future = pool.submit(self._run, task, is_merge)
+        except BaseException:
+            with self._lock:
+                self._pending -= 1
+                self._idle.notify_all()
+            raise
+        return future
+
+    def _run(self, task: Callable[[], None], is_merge: bool) -> None:
+        try:
+            task()
+            with self._lock:
+                if is_merge:
+                    self.stats.merges_completed += 1
+                else:
+                    self.stats.flushes_completed += 1
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised at drain
+            with self._lock:
+                if self._failure is None:
+                    self._failure = exc
+        finally:
+            with self._lock:
+                self._pending -= 1
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------ quiescence
+
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet finished (queued or running)."""
+        with self._lock:
+            return self._pending
+
+    def raise_if_failed(self) -> None:
+        """Surface the first background failure, if any, on the caller's thread."""
+        failure = self._failure
+        if failure is not None:
+            raise SchedulerError(
+                f"background LSM maintenance failed: {failure!r}") from failure
+
+    def drain(self) -> None:
+        """Block until every submitted flush/merge has finished.
+
+        Tasks may submit follow-up work (a flush scheduling a merge) while we
+        wait; the pending counter covers those too, so returning means the
+        maintenance pipeline is genuinely quiet.  Raises
+        :class:`~repro.errors.SchedulerError` if any task failed.
+        """
+        with self._idle:
+            while self._pending:
+                self._idle.wait(timeout=0.1)
+                failure = self._failure
+                if failure is not None:
+                    break
+        self.raise_if_failed()
+
+    def close(self) -> None:
+        """Drain, then shut the worker pools down.  Idempotent.
+
+        A drain failure still shuts the pools down (no half-closed state),
+        then re-raises, so callers in ``finally`` blocks always release the
+        threads.
+        """
+        with self._lock:
+            if self._closed:
+                self.raise_if_failed()
+                return
+            self._closed = True
+        try:
+            with self._idle:
+                while self._pending:
+                    self._idle.wait(timeout=0.1)
+                    if self._failure is not None:
+                        break
+        finally:
+            self._flush_pool.shutdown(wait=True)
+            self._merge_pool.shutdown(wait=True)
+        self.raise_if_failed()
+
+    def __enter__(self) -> "LSMIOScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self._closed else f"pending={self._pending}"
+        return (f"LSMIOScheduler(flush_workers={self.max_flush_workers}, "
+                f"merge_workers={self.max_merge_workers}, {state})")

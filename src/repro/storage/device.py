@@ -106,6 +106,7 @@ class SimulatedStorageDevice:
     # -- recording -------------------------------------------------------------
 
     def record_read(self, nbytes: int, io_class: str = "data") -> None:
+        io_class = self._effective_class(io_class)
         with self._lock:
             self.stats.add_read(nbytes)
             self._class_stats(io_class).add_read(nbytes)
@@ -115,6 +116,7 @@ class SimulatedStorageDevice:
             time.sleep((nbytes / self.read_bandwidth + self.seek_latency) * self.throttle)
 
     def record_write(self, nbytes: int, io_class: str = "data") -> None:
+        io_class = self._effective_class(io_class)
         with self._lock:
             self.stats.add_write(nbytes)
             self._class_stats(io_class).add_write(nbytes)
@@ -127,6 +129,28 @@ class SimulatedStorageDevice:
         if io_class not in self.per_class:
             self.per_class[io_class] = IOStats()
         return self.per_class[io_class]
+
+    def _effective_class(self, io_class: str) -> str:
+        return getattr(self._local, "io_class", None) or io_class
+
+    @contextmanager
+    def io_class_scope(self, io_class: str) -> Iterator[None]:
+        """Re-tag every operation recorded *from this thread* while open.
+
+        Background flush/merge workers wrap their work in
+        ``io_class_scope("maintenance")`` so the device's per-class counters
+        separate maintenance traffic from the foreground "data"/"log"
+        classes — the accounting views that let benchmarks report how much
+        device time the asynchronous LSM lifecycle moved off the ingest
+        path.  Scopes are thread-local and restore the previous tag on exit,
+        so nesting works and concurrent workers never see each other's tag.
+        """
+        previous = getattr(self._local, "io_class", None)
+        self._local.io_class = io_class
+        try:
+            yield
+        finally:
+            self._local.io_class = previous
 
     @contextmanager
     def accounting_scope(self) -> Iterator[IOStats]:

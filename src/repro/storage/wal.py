@@ -19,6 +19,7 @@ flow.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
 
@@ -64,15 +65,21 @@ class WriteAheadLog:
         self._next_lsn = 1
         self._truncated_up_to = 0
         self.bytes_written = 0
+        # Background LSM maintenance appends FLUSH markers and truncates from
+        # flush-worker threads while partition writers keep appending: LSN
+        # assignment and the record list are guarded so no record is lost and
+        # no LSN is handed out twice.
+        self._lock = threading.Lock()
 
     # -- appending ---------------------------------------------------------------
 
     def append(self, record_type: LogRecordType, dataset: str, partition: int,
                key: Any = None, payload: Optional[bytes] = None) -> LogRecord:
-        record = LogRecord(self._next_lsn, record_type, dataset, partition, key, payload)
-        self._next_lsn += 1
-        self._records.append(record)
-        self.bytes_written += record.size_bytes
+        with self._lock:
+            record = LogRecord(self._next_lsn, record_type, dataset, partition, key, payload)
+            self._next_lsn += 1
+            self._records.append(record)
+            self.bytes_written += record.size_bytes
         if self.device is not None:
             self.device.record_write(record.size_bytes, io_class="log")
         return record
@@ -88,10 +95,32 @@ class WriteAheadLog:
 
     def truncate(self, up_to_lsn: int) -> None:
         """Discard log records with ``lsn <= up_to_lsn`` (component flushed)."""
-        if up_to_lsn < self._truncated_up_to:
-            raise WALError("cannot truncate backwards")
-        self._records = [record for record in self._records if record.lsn > up_to_lsn]
-        self._truncated_up_to = up_to_lsn
+        with self._lock:
+            if up_to_lsn < self._truncated_up_to:
+                raise WALError("cannot truncate backwards")
+            self._records = [record for record in self._records if record.lsn > up_to_lsn]
+            self._truncated_up_to = up_to_lsn
+
+    def truncate_partition(self, dataset: str, partition: int, up_to_lsn: int) -> None:
+        """Discard one partition's records with ``lsn <= up_to_lsn``.
+
+        The log is shared by every partition of a node, so a flush may only
+        retire *its own* partition's records: another partition's unflushed
+        operations with smaller LSNs must survive for recovery.  This is the
+        WAL half of the background-flush handoff — a sealed memtable records
+        the last LSN it covers at seal time, and the flush that persists it
+        truncates exactly that range once the component's footer (validity
+        bit) is on disk.
+        """
+        def survives(record: LogRecord) -> bool:
+            if record.dataset != dataset or record.partition != partition:
+                return True
+            if record.record_type in (LogRecordType.FLUSH_START, LogRecordType.FLUSH_END):
+                return False  # markers are never replayed; drop them eagerly
+            return record.lsn > up_to_lsn
+
+        with self._lock:
+            self._records = [record for record in self._records if survives(record)]
 
     # -- recovery ----------------------------------------------------------------------
 
@@ -102,7 +131,9 @@ class WriteAheadLog:
         Iterates over a snapshot so that recovery — which appends new log
         records while re-applying the old ones — cannot chase its own tail.
         """
-        for record in list(self._records):
+        with self._lock:
+            snapshot = list(self._records)
+        for record in snapshot:
             if dataset is not None and record.dataset != dataset:
                 continue
             if partition is not None and record.partition != partition:
@@ -113,4 +144,5 @@ class WriteAheadLog:
 
     def drop_after(self, lsn: int) -> None:
         """Simulate losing the log tail in a crash (records with lsn > ``lsn``)."""
-        self._records = [record for record in self._records if record.lsn <= lsn]
+        with self._lock:
+            self._records = [record for record in self._records if record.lsn <= lsn]
