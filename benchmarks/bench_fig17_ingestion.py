@@ -39,6 +39,7 @@ _FORMATS = ("open", "closed", "inferred")
 def _feed_insert_only():
     rows = []
     io_seconds = {}
+    reports = []
     for device in (DeviceKind.SATA_SSD, DeviceKind.NVME_SSD):
         for compression in (None, "snappy"):
             for format_name in _FORMATS:
@@ -46,22 +47,23 @@ def _feed_insert_only():
                                       device=device, method="feed", cache=False)
                 report = built.ingest_report
                 io_seconds[(device, compression, format_name)] = report.simulated_io_seconds
+                reports.append(({"device": device.value,
+                                 "compression": compression or "none",
+                                 "format": format_name}, report))
                 rows.append({"Device": device.value, "Compression": compression or "none",
                              "Format": format_name,
                              "Wall (s)": report.wall_seconds,
                              "Simulated write I/O (s)": report.simulated_io_seconds,
                              "Data bytes written": report.data_bytes_written,
                              **lifecycle_columns(report)})
-    return rows, io_seconds
+    return rows, io_seconds, reports
 
 
 def test_fig17a_feed_insert_only(benchmark):
-    rows, io_seconds = benchmark.pedantic(_feed_insert_only, rounds=1, iterations=1)
+    rows, io_seconds, reports = benchmark.pedantic(_feed_insert_only, rounds=1, iterations=1)
     print_table("Figure 17a — Twitter data feed, insert-only", rows)
     benchmark.extra_info["lifecycle"] = [
-        lifecycle_json(row, device=row["Device"], compression=row["Compression"],
-                       format=row["Format"])
-        for row in rows]
+        lifecycle_json(report, **extra) for extra, report in reports]
     for device in (DeviceKind.SATA_SSD, DeviceKind.NVME_SSD):
         for compression in (None, "snappy"):
             inferred = io_seconds[(device, compression, "inferred")]
@@ -180,16 +182,10 @@ def test_fig17d_background_lifecycle_overlap(benchmark):
         _background_overlap, rounds=1, iterations=1)
     print_table("Figure 17d — background flush/merge vs synchronous pipeline "
                 f"(SATA, io_throttle={_OVERLAP_THROTTLE})", rows)
-    benchmark.extra_info["background"] = {
-        "wall_seconds": bg_report.wall_seconds,
-        "flushes": bg_report.flushes, "merges": bg_report.merges,
-        "write_amplification": bg_report.write_amplification,
-        "ingest_stall_seconds": bg_report.ingest_stall_seconds}
-    benchmark.extra_info["synchronous"] = {
-        "wall_seconds": sync_report.wall_seconds,
-        "flushes": sync_report.flushes, "merges": sync_report.merges,
-        "write_amplification": sync_report.write_amplification,
-        "ingest_stall_seconds": sync_report.ingest_stall_seconds}
+    benchmark.extra_info["background"] = lifecycle_json(
+        bg_report, wall_seconds=bg_report.wall_seconds)
+    benchmark.extra_info["synchronous"] = lifecycle_json(
+        sync_report, wall_seconds=sync_report.wall_seconds)
 
     shape_check("background flush/merge with per-partition ingest beats the "
                 "synchronous sequential pipeline on wall time",

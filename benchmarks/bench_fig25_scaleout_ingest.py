@@ -82,11 +82,13 @@ def build_cluster(nodes: int, format_name: str, io_throttle: float = 0.0,
 def _figure25():
     rows = []
     storage = {}
+    reports = []
     for nodes in NODE_COUNTS:
         for format_name in _FORMATS:
             cluster, report = build_cluster(nodes, format_name)
             total = cluster.total_storage_size()
             storage[(nodes, format_name)] = total
+            reports.append(({"nodes": nodes, "format": format_name}, report))
             rows.append({"Nodes": nodes, "Format": format_name,
                          "Records": RECORDS_PER_NODE * nodes,
                          "Total size (MB)": mb(total),
@@ -94,15 +96,14 @@ def _figure25():
                          "Ingest wall (s)": report.wall_seconds,
                          "Simulated write I/O (s)": report.simulated_io_seconds,
                          **lifecycle_columns(report)})
-    return rows, storage
+    return rows, storage, reports
 
 
 def test_fig25_scaleout_storage_and_ingest(benchmark):
-    rows, storage = benchmark.pedantic(_figure25, rounds=1, iterations=1)
+    rows, storage, reports = benchmark.pedantic(_figure25, rounds=1, iterations=1)
     print_table("Figure 25 — scale-out storage and ingestion (compressed datasets)", rows)
     benchmark.extra_info["lifecycle"] = [
-        lifecycle_json(row, nodes=row["Nodes"], format=row["Format"])
-        for row in rows]
+        lifecycle_json(report, **extra) for extra, report in reports]
     for nodes in NODE_COUNTS:
         shape_check(f"{nodes} nodes: inferred < closed < open storage",
                     storage[(nodes, "inferred")] < storage[(nodes, "closed")] < storage[(nodes, "open")])

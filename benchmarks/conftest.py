@@ -1,0 +1,30 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark run exports the engine's metrics-registry activity into
+``benchmark.extra_info["metrics"]``: an autouse fixture snapshots the
+process-wide registry before the test, diffs it afterwards, and attaches
+the :func:`harness.metrics_summary` of the delta (cache hit rate,
+write amplification, ingest stall seconds, plus every raw counter/gauge/
+histogram).  The saved-JSON consumers in EXPERIMENTS.md read the same
+numbers the engine's own observability layer reports — no parallel
+bookkeeping in the bench modules.
+"""
+
+import pytest
+from harness import metrics_summary
+
+from repro.obs import get_registry, metrics_delta
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics(request):
+    # Resolve the benchmark fixture *before* yielding: during teardown it has
+    # already been finalised and getfixturevalue() would refuse to serve it.
+    benchmark = (request.getfixturevalue("benchmark")
+                 if "benchmark" in request.fixturenames else None)
+    registry = get_registry()
+    before = registry.snapshot()
+    yield
+    if benchmark is not None:
+        benchmark.extra_info["metrics"] = metrics_summary(
+            metrics_delta(registry.snapshot(), before))

@@ -311,18 +311,45 @@ def check_results_agree(measurements: Dict, queries: Iterable[str],
 def lifecycle_columns(report: FeedReport) -> Dict[str, Any]:
     """Flush/merge lifecycle metrics every ingest table reports (and exports
     into the benchmark JSON via ``benchmark.extra_info``)."""
-    return {"Flushes": report.flushes, "Merges": report.merges,
-            "Write amp": report.write_amplification,
-            "Stall (s)": report.ingest_stall_seconds}
+    data = report.to_dict()
+    return {"Flushes": data["flushes"], "Merges": data["merges"],
+            "Write amp": data["write_amplification"],
+            "Stall (s)": data["ingest_stall_seconds"]}
 
 
-def lifecycle_json(row: Dict[str, Any], **extra: Any) -> Dict[str, Any]:
-    """One ``benchmark.extra_info`` entry built from a table row."""
-    entry = {"flushes": row["Flushes"], "merges": row["Merges"],
-             "write_amplification": row["Write amp"],
-             "ingest_stall_seconds": row["Stall (s)"]}
+#: FeedReport.to_dict() keys exported per run into ``benchmark.extra_info``.
+_LIFECYCLE_JSON_FIELDS = ("flushes", "merges", "write_amplification",
+                          "ingest_stall_seconds")
+
+
+def lifecycle_json(report: FeedReport, **extra: Any) -> Dict[str, Any]:
+    """One ``benchmark.extra_info`` entry built from a feed report."""
+    data = report.to_dict()
+    entry = {name: data[name] for name in _LIFECYCLE_JSON_FIELDS}
+    if report.metrics:
+        entry["metrics"] = metrics_summary(report.metrics)
     entry.update(extra)
     return entry
+
+
+def metrics_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Headline numbers plus the raw instruments of a metrics-registry
+    snapshot (or a :func:`repro.obs.metrics_delta` between two snapshots) —
+    the JSON every benchmark attaches to ``benchmark.extra_info``."""
+    counters = snapshot.get("counters", {})
+    hits = counters.get("cache_hits", 0)
+    misses = counters.get("cache_misses", 0)
+    flushed = counters.get("lsm_bytes_flushed", 0)
+    merged = counters.get("lsm_bytes_merged", 0)
+    return {
+        "cache_hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
+        "write_amplification": (flushed + merged) / flushed if flushed else 0.0,
+        "ingest_stall_seconds": counters.get("lsm_ingest_stall_seconds", 0.0),
+        "queries_executed": counters.get("queries_executed", 0),
+        "counters": dict(counters),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": dict(snapshot.get("histograms", {})),
+    }
 
 
 def mb(n_bytes: float) -> float:

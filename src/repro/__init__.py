@@ -48,6 +48,13 @@ from .config import (
 from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
 from .errors import ReproError, SchedulerError, SqlppError
 from .lsm import LSMIOScheduler
+from .obs import (
+    MetricsRegistry,
+    TRACE_ENV_VAR,
+    get_registry,
+    get_tracer,
+    metrics_delta,
+)
 from .sqlpp import CompiledCreateIndex, CompiledQuery, parse, unparse
 from .sqlpp import compile as compile_sqlpp
 from .schema import InferredSchema
@@ -83,6 +90,11 @@ __all__ = [
     "SqlppError",
     "LSMIOScheduler",
     "LSM_SCHEDULER_ENV_VAR",
+    "MetricsRegistry",
+    "get_registry",
+    "get_tracer",
+    "metrics_delta",
+    "TRACE_ENV_VAR",
     "parse",
     "unparse",
     "compile_sqlpp",

@@ -21,11 +21,15 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tupl
 
 from ..core.dataset import Dataset, hash_partition
 from ..errors import FeedError
+from ..obs import StatsDictMixin, metrics_delta
+from ..obs import tracer as _tracer
 
 
 @dataclass
-class FeedReport:
+class FeedReport(StatsDictMixin):
     """Outcome of one feed run."""
+
+    _DERIVED = ("total_seconds", "records_per_second", "write_amplification")
 
     records_ingested: int = 0
     inserts: int = 0
@@ -44,6 +48,9 @@ class FeedReport:
     ingest_stall_seconds: float = 0.0
     #: Ingest worker threads used (1 = the sequential driver).
     ingest_threads: int = 1
+    #: Metrics-registry activity during the run (snapshot delta over the
+    #: dataset's registry — the same counters every other layer reports).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -112,28 +119,36 @@ class DataFeed:
         # Lifecycle counters are reported as per-run deltas, so back-to-back
         # feeds on one dataset do not re-bill earlier runs' maintenance.
         lifecycle_before = self.dataset.ingest_stats()
+        metrics_before = self.dataset.metrics.snapshot()
         started = time.perf_counter()
 
-        if self.per_partition_ingest and self.dataset.partition_count > 1:
-            self._run_partitioned(records, report)
-        else:
-            for record in records:
-                self.dataset.insert(record)
-                report.inserts += 1
-                report.records_ingested += 1
-                self._remember(record)
-                update = self._maybe_update(record)
-                if update is not None:
-                    self.dataset.upsert(update)
-                    report.updates += 1
+        # The ingest span stays open until maintenance quiesces, so background
+        # flush/merge spans (submitted from inside this context) attach under
+        # it in the trace.
+        with _tracer.span("feed.run", dataset=self.dataset.config.name) as span:
+            if self.per_partition_ingest and self.dataset.partition_count > 1:
+                self._run_partitioned(records, report)
+            else:
+                for record in records:
+                    self.dataset.insert(record)
+                    report.inserts += 1
+                    report.records_ingested += 1
+                    self._remember(record)
+                    update = self._maybe_update(record)
+                    if update is not None:
+                        self.dataset.upsert(update)
+                        report.updates += 1
 
-        report.wall_seconds = time.perf_counter() - started
-        # Quiesce background maintenance before the closing snapshots: the
-        # wall clock above measures the ingest path (feeds complete while the
-        # LSM keeps flushing, as in AsterixDB), but the I/O and lifecycle
-        # counters below must be deterministic, not a race against in-flight
-        # flushes/merges.  No-op under synchronous maintenance.
-        self.dataset.drain()
+            report.wall_seconds = time.perf_counter() - started
+            # Quiesce background maintenance before the closing snapshots: the
+            # wall clock above measures the ingest path (feeds complete while
+            # the LSM keeps flushing, as in AsterixDB), but the I/O and
+            # lifecycle counters below must be deterministic, not a race
+            # against in-flight flushes/merges.  No-op under synchronous
+            # maintenance.
+            self.dataset.drain()
+            span.set_attribute("records", report.records_ingested)
+        report.metrics = metrics_delta(self.dataset.metrics.snapshot(), metrics_before)
         for environment, before in zip(environments, io_before):
             delta = environment.device.stats.diff(before)
             report.simulated_io_seconds += environment.device.simulated_seconds(delta)
@@ -191,7 +206,11 @@ class DataFeed:
                     failed.set()
                     broken = True
 
-        threads = [threading.Thread(target=worker, args=(partition, queues[index]),
+        # Worker threads start with an empty contextvars context; binding the
+        # driver's context keeps maintenance submitted by these writers (and
+        # hence their flush/merge spans) under the open ingest span.
+        threads = [threading.Thread(target=_tracer.wrap_context(worker),
+                                    args=(partition, queues[index]),
                                     name=f"repro-ingest-p{partition.partition_id}", daemon=True)
                    for index, partition in enumerate(partitions)]
         for thread in threads:

@@ -26,14 +26,20 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 from ..config import ClusterConfig, DatasetConfig, StorageConfig, StorageFormat
 from ..core.dataset import Dataset
 from ..errors import ClusterError
+from ..obs import StatsDictMixin
 from ..query import QueryExecutor, QueryResult, QuerySpec
 from ..types import Datatype, open_only_primary_key
 from .node import NodeController
 
 
 @dataclass
-class ClusterQueryReport:
+class ClusterQueryReport(StatsDictMixin):
     """Query execution summary with scale-out-relevant timings."""
+
+    #: The embedded result (rows) stays out of the JSON export; its stats
+    #: are exported through ``result.stats.to_dict()`` by callers that want
+    #: them.
+    _EXCLUDE = ("result",)
 
     result: QueryResult
     #: Sum of measured per-partition pipeline times + measured coordinator
@@ -140,6 +146,16 @@ class ClusterSimulator:
 
     def total_partitions(self) -> int:
         return self.config.total_partitions
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of the registry the cluster's nodes publish into.
+
+        Node environments default to the process-wide registry, so one
+        snapshot covers every node; with per-environment registries this
+        returns the first node's (callers wanting per-node detail iterate
+        ``node.environment.metrics`` themselves).
+        """
+        return self.nodes[0].environment.metrics.snapshot()
 
     def set_io_throttle(self, throttle: float) -> None:
         """Dial every node device's latency realism knob (see

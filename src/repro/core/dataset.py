@@ -20,6 +20,8 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from ..config import DatasetConfig, StorageFormat
 from ..errors import DatasetError
 from ..lsm import LSMIOScheduler
+from ..obs import MetricsRegistry
+from ..obs import tracer as _tracer
 from ..schema import InferredSchema
 from ..types import Datatype, open_only_primary_key
 from .environment import StorageEnvironment
@@ -72,8 +74,11 @@ class Dataset:
         if config.lsm.resolved_background_maintenance():
             self.scheduler = LSMIOScheduler(
                 max_flush_workers=config.lsm.max_flush_workers,
-                max_merge_workers=config.lsm.max_merge_workers)
+                max_merge_workers=config.lsm.max_merge_workers,
+                metrics=environments[0].metrics)
         self._closed = False
+        #: Trace id of the most recent traced query (see :meth:`last_trace`).
+        self._last_trace_id: Optional[str] = None
         self.partitions: List[Partition] = []
         partition_id = 0
         for environment in self.environments:
@@ -235,27 +240,61 @@ class Dataset:
         from ..sqlpp import CompiledCreateIndex
         from ..sqlpp import compile as compile_sqlpp
 
-        compiled = compile_sqlpp(text)
-        if isinstance(compiled, CompiledCreateIndex):
-            if executor is not None or executor_options:
-                raise DatasetError("CREATE INDEX does not take an executor")
-            self.create_index(compiled.index_name, compiled.field_path)
-            return QueryResult(rows=[], stats=ExecutionStats())
-        if executor is None:
-            executor = QueryExecutor(**executor_options)
-        elif executor_options:
-            raise DatasetError("pass either a prebuilt executor or executor options, not both")
-        return executor.execute(self, compiled.spec)
+        with _tracer.span("query", text=" ".join(text.split())[:200]) as span:
+            if span.trace_id:
+                self._last_trace_id = span.trace_id
+            compiled = compile_sqlpp(text)
+            if isinstance(compiled, CompiledCreateIndex):
+                if executor is not None or executor_options:
+                    raise DatasetError("CREATE INDEX does not take an executor")
+                self.create_index(compiled.index_name, compiled.field_path)
+                return QueryResult(rows=[], stats=ExecutionStats())
+            if executor is None:
+                executor = QueryExecutor(**executor_options)
+            elif executor_options:
+                raise DatasetError(
+                    "pass either a prebuilt executor or executor options, not both")
+            return executor.execute(self, compiled.spec)
 
-    def explain(self, query: Any, access_path: str = "auto") -> str:
-        """Render the plan (access path, pipeline, costs) without executing.
+    def explain(self, query: Any, access_path: str = "auto", analyze: bool = False,
+                **executor_options: Any) -> str:
+        """Render the plan (access path, pipeline, costs) for ``query``.
 
         ``query`` is a SQL++ string or a prebuilt
         :class:`~repro.query.plan.QuerySpec`; see :mod:`repro.query.explain`.
+        With ``analyze=True`` the plan is *executed* and per-operator actual
+        rows, wall time, and bytes are rendered next to the optimizer's
+        estimates — including the estimated-vs-actual cardinality error.
+        ``executor_options`` (e.g. ``parallelism=1``, ``cold_cache=True``)
+        configure the analyzing executor.
         """
         from ..query.explain import explain as explain_plan
 
-        return explain_plan(self, query, access_path=access_path)
+        return explain_plan(self, query, access_path=access_path, analyze=analyze,
+                            **executor_options)
+
+    # ------------------------------------------------------------------ observability
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry this dataset's environments publish into."""
+        return self.environments[0].metrics
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-serializable snapshot of the dataset's metrics registry."""
+        return self.metrics.snapshot()
+
+    def last_trace(self) -> List[Dict[str, Any]]:
+        """Spans of the most recent traced query, as exported dicts.
+
+        Empty when tracing is disabled (``REPRO_TRACE`` unset and the tracer
+        not enabled programmatically) or no query has run yet.  Spans are
+        returned in completion order; each carries ``span_id``/``parent_id``
+        so callers can rebuild the tree.
+        """
+        if self._last_trace_id is None:
+            return []
+        return [span.to_dict() for span in _tracer.spans(self._last_trace_id)]
 
     # ------------------------------------------------------------------ secondary indexes
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..config import DeviceKind, StorageConfig
+from ..obs import MetricsRegistry, get_registry
 from ..storage import (
     BufferCache,
     FileManager,
@@ -27,18 +28,26 @@ class StorageEnvironment:
     """Everything a node needs to host dataset partitions."""
 
     def __init__(self, storage_config: Optional[StorageConfig] = None,
-                 base_dir: Optional[str] = None, node_id: int = 0) -> None:
+                 base_dir: Optional[str] = None, node_id: int = 0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = storage_config or StorageConfig()
         self.node_id = node_id
+        #: Metrics registry every component of this environment publishes
+        #: into; defaults to the process-wide registry so cluster-level
+        #: consumers see one coherent snapshot (pass a fresh registry for
+        #: isolation in tests).
+        self.metrics = metrics if metrics is not None else get_registry()
         self.device = SimulatedStorageDevice(self.config.device_kind,
-                                             throttle=self.config.io_throttle)
+                                             throttle=self.config.io_throttle,
+                                             metrics=self.metrics)
         codec = get_codec(self.config.compression, self.config.compression_level)
         if base_dir is None:
             self.file_manager = InMemoryFileManager(self.device, self.config.page_size, codec)
         else:
             self.file_manager = FileManager(base_dir, self.device, self.config.page_size, codec)
-        self.buffer_cache = BufferCache(self.file_manager, self.config.buffer_cache_pages)
-        self.wal = WriteAheadLog(self.device)
+        self.buffer_cache = BufferCache(self.file_manager, self.config.buffer_cache_pages,
+                                        metrics=self.metrics)
+        self.wal = WriteAheadLog(self.device, metrics=self.metrics)
 
     # -- reporting -------------------------------------------------------------
 

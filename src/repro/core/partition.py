@@ -69,6 +69,7 @@ class Partition:
             scheduler=scheduler,
             max_sealed_memtables=config.lsm.max_sealed_memtables,
             max_merge_debt=config.lsm.max_merge_debt,
+            metrics=environment.metrics,
         )
 
     # ------------------------------------------------------------------ writes

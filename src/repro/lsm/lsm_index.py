@@ -29,6 +29,8 @@ from ..errors import (
     MaintenanceDecodeError,
     SchedulerError,
 )
+from ..obs import MetricsRegistry, StatsDictMixin, get_registry
+from ..obs import tracer as _tracer
 from ..schema import InferredSchema
 from ..storage.buffer_cache import BufferCache
 from ..storage.wal import LogRecordType, WriteAheadLog
@@ -64,8 +66,10 @@ class SecondaryIndexDef:
 
 
 @dataclass
-class IngestStats:
+class IngestStats(StatsDictMixin):
     """Counters describing one index's ingestion activity."""
+
+    _DERIVED = ("write_amplification",)
 
     inserts: int = 0
     deletes: int = 0
@@ -78,6 +82,13 @@ class IngestStats:
     #: Wall seconds the writer spent blocked in backpressure waits (sealed
     #: memtables at the cap, or merge debt) under background maintenance.
     ingest_stall_seconds: float = 0.0
+
+    @property
+    def write_amplification(self) -> float:
+        """Maintenance bytes written per flushed byte (1.0 = no merges)."""
+        if self.bytes_flushed == 0:
+            return 0.0
+        return (self.bytes_flushed + self.bytes_merged) / self.bytes_flushed
 
 
 @dataclass
@@ -118,7 +129,8 @@ class LSMBTree:
                  check_duplicate_keys: bool = False,
                  scheduler: Optional[LSMIOScheduler] = None,
                  max_sealed_memtables: int = 2,
-                 max_merge_debt: int = 12) -> None:
+                 max_merge_debt: int = 12,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.name = name
         self.partition = partition
         self.buffer_cache = buffer_cache
@@ -143,6 +155,16 @@ class LSMBTree:
         self.components: List[OnDiskComponent] = []
         self.secondary_indexes: List[SecondaryIndexDef] = []
         self.stats = IngestStats()
+        # Lifecycle counters published into the shared metrics registry
+        # (cross-partition totals; per-index detail stays in self.stats).
+        metrics = metrics if metrics is not None else get_registry()
+        self._flushes_metric = metrics.counter("lsm_flushes")
+        self._merges_metric = metrics.counter("lsm_merges")
+        self._seals_metric = metrics.counter("lsm_memtable_seals")
+        self._bytes_flushed_metric = metrics.counter("lsm_bytes_flushed")
+        self._bytes_merged_metric = metrics.counter("lsm_bytes_merged")
+        self._stall_metric = metrics.counter("lsm_ingest_stall_seconds")
+        self._sealed_gauge = metrics.gauge("lsm_sealed_memtables")
         self._next_sequence = 0
         # Reader bookkeeping: scans/probes snapshot the component list, so a
         # merge must not delete merged-away component *files* while any
@@ -334,6 +356,21 @@ class LSMBTree:
         path, where the memtable covers the whole unflushed log)."""
         if memtable.is_empty:
             return None
+        with _tracer.span("lsm.flush", index=self.name,
+                          partition=self.partition) as span:
+            # Bytes come from the stats delta, not component.size_bytes():
+            # the post-flush merge inside the impl may already have deleted
+            # the new component's file by the time the span closes.
+            bytes_before = self.stats.bytes_flushed
+            component = self._flush_memtable_impl(memtable, up_to_lsn, fail_before_footer)
+            if component is not None:
+                span.set_attribute("component", component.file_name)
+                span.set_attribute("bytes", self.stats.bytes_flushed - bytes_before)
+            return component
+
+    def _flush_memtable_impl(self, memtable: InMemoryComponent,
+                             up_to_lsn: Optional[int] = None,
+                             fail_before_footer: bool = False) -> Optional[OnDiskComponent]:
         component_id = ComponentId.flushed(self._next_sequence)
         callback = self.flush_callback
         callback.begin_flush(component_id)
@@ -362,6 +399,8 @@ class LSMBTree:
         self._next_sequence += 1
         self.stats.flushes += 1
         self.stats.bytes_flushed += component.size_bytes()
+        self._flushes_metric.inc()
+        self._bytes_flushed_metric.inc(component.size_bytes())
 
         if self.wal is not None:
             covered_lsn = self.wal.last_lsn if up_to_lsn is None else up_to_lsn
@@ -414,7 +453,9 @@ class LSMBTree:
                     stall_started = time.perf_counter()
                 self._rotation_cond.wait(timeout=0.05)
             if stall_started is not None:
-                self.stats.ingest_stall_seconds += time.perf_counter() - stall_started
+                stalled = time.perf_counter() - stall_started
+                self.stats.ingest_stall_seconds += stalled
+                self._stall_metric.inc(stalled)
             if self.memory_component.is_empty:
                 return
             sealed = SealedMemtable(
@@ -428,6 +469,8 @@ class LSMBTree:
             self.sealed_memtables.append(sealed)
             self.memory_component = InMemoryComponent()
             self._inflight_flushes += 1
+            self._seals_metric.inc()
+            self._sealed_gauge.set(len(self.sealed_memtables))
         try:
             scheduler.submit_flush(self._background_flush)
         except SchedulerError:
@@ -463,6 +506,7 @@ class LSMBTree:
                     # component snapshot.
                     with self._rotation_cond:
                         self.sealed_memtables.pop(0)
+                        self._sealed_gauge.set(len(self.sealed_memtables))
                         self._rotation_cond.notify_all()
         finally:
             with self._rotation_cond:
@@ -561,6 +605,15 @@ class LSMBTree:
 
     def merge(self, selected: Sequence[OnDiskComponent]) -> OnDiskComponent:
         """Merge ``selected`` (contiguous, newest first) into one component."""
+        with _tracer.span("lsm.merge", index=self.name, partition=self.partition,
+                          inputs=len(selected)) as span:
+            bytes_before = self.stats.bytes_merged
+            merged = self._merge_impl(selected)
+            span.set_attribute("component", merged.file_name)
+            span.set_attribute("bytes", self.stats.bytes_merged - bytes_before)
+            return merged
+
+    def _merge_impl(self, selected: Sequence[OnDiskComponent]) -> OnDiskComponent:
         selected = list(selected)
         selected_ids = {id(component) for component in selected}
         for component in selected:
@@ -601,6 +654,8 @@ class LSMBTree:
             self._drop_component(component)
         self.stats.merges += 1
         self.stats.bytes_merged += merged.size_bytes()
+        self._merges_metric.inc()
+        self._bytes_merged_metric.inc(merged.size_bytes())
         return merged
 
     def _merge_entries(self, selected: Sequence[OnDiskComponent],

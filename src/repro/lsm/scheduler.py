@@ -34,10 +34,12 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import SchedulerError
+from ..obs import MetricsRegistry, StatsDictMixin, get_registry
+from ..obs import tracer as _tracer
 
 
 @dataclass
-class SchedulerStats:
+class SchedulerStats(StatsDictMixin):
     """Counters describing one scheduler's lifetime activity."""
 
     flushes_submitted: int = 0
@@ -49,7 +51,8 @@ class SchedulerStats:
 class LSMIOScheduler:
     """Bounded worker pools executing LSM flushes and merges asynchronously."""
 
-    def __init__(self, max_flush_workers: int = 2, max_merge_workers: int = 1) -> None:
+    def __init__(self, max_flush_workers: int = 2, max_merge_workers: int = 1,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_flush_workers < 1:
             raise SchedulerError("max_flush_workers must be >= 1")
         if max_merge_workers < 1:
@@ -66,6 +69,16 @@ class LSMIOScheduler:
         self._closed = False
         self._failure: Optional[BaseException] = None
         self.stats = SchedulerStats()
+        metrics = metrics if metrics is not None else get_registry()
+        self._pending_gauge = metrics.gauge("scheduler_pending_tasks")
+        self._submitted_metrics = {
+            False: metrics.counter("scheduler_tasks_submitted", kind="flush"),
+            True: metrics.counter("scheduler_tasks_submitted", kind="merge"),
+        }
+        self._completed_metrics = {
+            False: metrics.counter("scheduler_tasks_completed", kind="flush"),
+            True: metrics.counter("scheduler_tasks_completed", kind="merge"),
+        }
 
     # ------------------------------------------------------------------ submission
 
@@ -87,15 +100,22 @@ class LSMIOScheduler:
             if self._closed:
                 raise SchedulerError("cannot submit work to a closed scheduler")
             self._pending += 1
+            self._pending_gauge.set(self._pending)
             if is_merge:
                 self.stats.merges_submitted += 1
             else:
                 self.stats.flushes_submitted += 1
+            self._submitted_metrics[is_merge].inc()
         try:
-            future = pool.submit(self._run, task, is_merge)
+            # Carry the submitter's tracing context onto the worker thread:
+            # a flush scheduled while an ingest span is open becomes its
+            # child in the trace.  No-op (returns `task` itself) when
+            # tracing is disabled.
+            future = pool.submit(self._run, _tracer.wrap_context(task), is_merge)
         except BaseException:
             with self._lock:
                 self._pending -= 1
+                self._pending_gauge.set(self._pending)
                 self._idle.notify_all()
             raise
         return future
@@ -108,6 +128,7 @@ class LSMIOScheduler:
                     self.stats.merges_completed += 1
                 else:
                     self.stats.flushes_completed += 1
+                self._completed_metrics[is_merge].inc()
         except BaseException as exc:  # noqa: BLE001 - recorded, re-raised at drain
             with self._lock:
                 if self._failure is None:
@@ -115,6 +136,7 @@ class LSMIOScheduler:
         finally:
             with self._lock:
                 self._pending -= 1
+                self._pending_gauge.set(self._pending)
                 self._idle.notify_all()
 
     # ------------------------------------------------------------------ quiescence

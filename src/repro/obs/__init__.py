@@ -1,0 +1,52 @@
+"""Engine-wide observability: metrics registry, tracing, events.
+
+One coherent layer replacing per-subsystem counter plumbing (ROADMAP items
+1 and 5):
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of labeled counters /
+  gauges / histograms with a snapshot/delta API; the buffer cache, devices,
+  WAL, LSM lifecycle, scheduler, and query executor all publish into it;
+* :mod:`repro.obs.tracing` — span trees over queries and background
+  maintenance, propagated across worker pools via ``contextvars`` and
+  exportable as JSONL through the ``REPRO_TRACE`` environment variable;
+* :mod:`repro.obs.events` — structured warnings (cardinality misestimates)
+  fanned out to logging, the trace, and the registry;
+* :mod:`repro.obs.statsdict` — the common ``to_dict()`` protocol the stats
+  dataclasses share for JSON export;
+* :mod:`repro.obs.validate` — the JSONL schema validator CI runs over
+  exported traces.
+"""
+
+from .events import CARDINALITY_MISESTIMATE, emit_event
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_delta,
+)
+from .statsdict import StatsDictMixin, convert_value
+from .tracing import NULL_SPAN, Span, TRACE_ENV_VAR, Tracer, get_tracer, tracer
+from .validate import validate_trace, validate_trace_lines
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "metrics_delta",
+    "Span",
+    "Tracer",
+    "tracer",
+    "get_tracer",
+    "NULL_SPAN",
+    "TRACE_ENV_VAR",
+    "emit_event",
+    "CARDINALITY_MISESTIMATE",
+    "StatsDictMixin",
+    "convert_value",
+    "validate_trace",
+    "validate_trace_lines",
+]

@@ -1,0 +1,37 @@
+"""Structured event API: one call, three sinks.
+
+An *event* is a named point-in-time fact with structured fields (e.g. the
+optimizer's estimated cardinality missing the measured one by 10x).  Each
+:func:`emit_event` call
+
+* logs through the ``repro.obs`` :mod:`logging` logger (always — events are
+  operator-facing and must surface even with tracing off), rendering the
+  fields as ``key=value`` pairs after the event name;
+* records into the tracer's event buffer / JSONL export when tracing is on,
+  attached to the current span so a misestimate can be tied to the exact
+  query execution that produced it;
+* bumps the ``events_total{event=...}`` counter in the default metrics
+  registry, so event rates show up in metrics snapshots.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from .metrics import get_registry
+from .tracing import get_tracer
+
+logger = logging.getLogger("repro.obs")
+
+#: Well-known event emitted when an analyzed query's estimated cardinality
+#: diverges from the measured one by more than 10x (ROADMAP item 5 feeder).
+CARDINALITY_MISESTIMATE = "cardinality_misestimate"
+
+
+def emit_event(name: str, level: int = logging.WARNING, **fields: Any) -> None:
+    """Publish one structured event to the log, the tracer, and the registry."""
+    rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+    logger.log(level, "%s %s", name, rendered)
+    get_tracer().record_event(name, **fields)
+    get_registry().counter("events_total", event=name).inc()

@@ -1,0 +1,122 @@
+"""Schema validator for exported trace files (``python -m repro.obs.validate``).
+
+CI runs a benchmark with ``REPRO_TRACE=<path>`` and then validates the
+emitted JSONL: every line must be a JSON object; span lines need the
+required fields with sane values (``end >= start``, non-empty ids); every
+non-root span's ``parent_id`` must resolve to a span of the same trace
+recorded somewhere in the file (no orphans); event lines need a name and a
+timestamp.  Exit status 0 means the file is schema-valid; errors are
+printed one per line and exit status is 1.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+#: Fields every exported span object must carry.
+SPAN_REQUIRED_FIELDS = ("trace_id", "span_id", "name", "start", "end", "thread", "attributes")
+
+#: Fields every exported event object must carry.
+EVENT_REQUIRED_FIELDS = ("name", "time", "fields")
+
+
+def validate_trace_lines(lines: List[str]) -> Tuple[List[str], Dict[str, int]]:
+    """Validate JSONL trace content; returns (errors, summary counts)."""
+    errors: List[str] = []
+    spans: List[Tuple[int, Dict[str, Any]]] = []
+    span_ids: Dict[str, str] = {}  # span_id -> trace_id
+    counts = {"spans": 0, "events": 0, "traces": 0}
+
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {number}: expected a JSON object, got {type(record).__name__}")
+            continue
+        kind = record.get("type")
+        if kind == "span":
+            counts["spans"] += 1
+            missing = [name for name in SPAN_REQUIRED_FIELDS if name not in record]
+            if missing:
+                errors.append(f"line {number}: span missing fields {missing}")
+                continue
+            if not record["span_id"] or not record["trace_id"]:
+                errors.append(f"line {number}: span has empty span_id/trace_id")
+                continue
+            if not isinstance(record["start"], (int, float)) or \
+                    not isinstance(record["end"], (int, float)):
+                errors.append(f"line {number}: span start/end must be numbers")
+                continue
+            if record["end"] < record["start"]:
+                errors.append(f"line {number}: span {record['span_id']} ends before it starts")
+            if record["span_id"] in span_ids:
+                errors.append(f"line {number}: duplicate span_id {record['span_id']}")
+            span_ids[record["span_id"]] = record["trace_id"]
+            spans.append((number, record))
+        elif kind == "event":
+            counts["events"] += 1
+            missing = [name for name in EVENT_REQUIRED_FIELDS if name not in record]
+            if missing:
+                errors.append(f"line {number}: event missing fields {missing}")
+        else:
+            errors.append(f"line {number}: unknown record type {kind!r}")
+
+    for number, record in spans:
+        parent = record.get("parent_id")
+        if parent is None:
+            continue
+        if parent not in span_ids:
+            errors.append(f"line {number}: orphan span {record['span_id']} "
+                          f"(parent {parent} not in file)")
+        elif span_ids[parent] != record["trace_id"]:
+            errors.append(f"line {number}: span {record['span_id']} parent {parent} "
+                          "belongs to a different trace")
+
+    counts["traces"] = len({trace for trace in span_ids.values()})
+    return errors, counts
+
+
+def validate_trace(path: str) -> List[str]:
+    """Validate one exported trace file; returns the list of errors."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    errors, _ = validate_trace_lines(lines)
+    return errors
+
+
+def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.jsonl>", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    errors, counts = validate_trace_lines(lines)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"INVALID: {len(errors)} error(s) in {path}", file=sys.stderr)
+        return 1
+    if counts["spans"] == 0:
+        print(f"INVALID: {path} contains no spans", file=sys.stderr)
+        return 1
+    print(f"OK: {counts['spans']} spans, {counts['events']} events, "
+          f"{counts['traces']} trace(s) in {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -44,6 +44,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.dataset import Dataset
 from ..errors import QueryError
+from ..obs import CARDINALITY_MISESTIMATE, NULL_SPAN, StatsDictMixin, emit_event
+from ..obs import tracer as _tracer
 from .expressions import is_absent
 from .operators import (
     IndexProbeOperator,
@@ -67,7 +69,59 @@ PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
 
 
 @dataclass
-class PartitionStats:
+class OperatorStats(StatsDictMixin):
+    """Measured cost of one operator within one partition's pipeline.
+
+    ``seconds`` is *inclusive* time — the wall clock spent pulling rows out
+    of this operator, which includes everything upstream of it (the same
+    convention as PostgreSQL's ``EXPLAIN ANALYZE`` actual times).  Only
+    populated when the executor instruments (``analyze=True`` or tracing
+    enabled); the disabled fast path never builds probes.
+    """
+
+    operator: str
+    rows_out: int = 0
+    seconds: float = 0.0
+    #: Device bytes attributed to this operator (only the source operator
+    #: reads pages; downstream operators show 0).
+    bytes_read: int = 0
+    #: perf_counter stamps of the first/last pull (span synthesis).
+    start: float = 0.0
+    end: float = 0.0
+
+
+class _OperatorProbe:
+    """Iterator wrapper counting rows and inclusive wall time of one stage."""
+
+    __slots__ = ("_source", "stats")
+
+    def __init__(self, source: Iterator, name: str) -> None:
+        self._source = iter(source)
+        self.stats = OperatorStats(operator=name)
+
+    def __iter__(self) -> "_OperatorProbe":
+        return self
+
+    def __next__(self):
+        stats = self.stats
+        started = time.perf_counter()
+        if stats.start == 0.0:
+            stats.start = started
+        try:
+            item = next(self._source)
+        except StopIteration:
+            stats.end = time.perf_counter()
+            stats.seconds += stats.end - started
+            raise
+        now = time.perf_counter()
+        stats.seconds += now - started
+        stats.end = now
+        stats.rows_out += 1
+        return item
+
+
+@dataclass
+class PartitionStats(StatsDictMixin):
     """Measured cost of one partition's local pipeline."""
 
     partition_id: int
@@ -79,11 +133,22 @@ class PartitionStats:
     #: True when the LIMIT cancellation token stopped (or skipped) this
     #: partition because earlier partitions already satisfied the limit.
     cancelled: bool = False
+    #: Per-operator actuals, pipeline order (instrumented runs only).
+    operators: List[OperatorStats] = field(default_factory=list)
+    #: Buffer-cache activity of this partition's pipeline (instrumented
+    #: runs only; shared caches mean cross-partition attribution is the
+    #: environment's, summed at the execution level).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
-class ExecutionStats:
+class ExecutionStats(StatsDictMixin):
     """Measured and simulated costs of one query execution."""
+
+    _DERIVED = ("parallel_wall_seconds", "sequential_equivalent_seconds",
+                "measured_speedup", "total_seconds", "cache_hit_ratio",
+                "cardinality_error")
 
     wall_seconds: float = 0.0
     #: Measured time of the coordinator stage (merge partials / global sort /
@@ -103,6 +168,55 @@ class ExecutionStats:
     access_path: str = "FullScan"
     #: Secondary index probed, when ``access_path == "IndexProbe"``.
     index_name: Optional[str] = None
+    #: Optimizer's cardinality estimate at the access path (rows expected to
+    #: match the WHERE clause); ``None`` when the cost model had no estimate.
+    estimated_rows: Optional[float] = None
+    #: Measured rows surviving the filter stage (instrumented runs only).
+    actual_matched_rows: Optional[int] = None
+    #: Buffer-cache activity during the execution (instrumented runs only).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def cardinality_error(self) -> Optional[float]:
+        """Estimated-vs-actual row-count divergence factor (>= 1.0).
+
+        Computed with +1 smoothing so zero estimates/actuals stay finite:
+        ``(max(est, act) + 1) / (min(est, act) + 1)``.  ``None`` until an
+        instrumented run measured the actual cardinality.
+        """
+        if self.estimated_rows is None or self.actual_matched_rows is None:
+            return None
+        high = max(self.estimated_rows, float(self.actual_matched_rows))
+        low = min(self.estimated_rows, float(self.actual_matched_rows))
+        return (high + 1.0) / (low + 1.0)
+
+    def operator_totals(self) -> List[OperatorStats]:
+        """Per-operator actuals summed across partitions, pipeline order.
+
+        ``seconds`` sums each partition's inclusive time, so with parallel
+        workers it exceeds wall time — it reads as "total operator work",
+        like PostgreSQL's actual-time-times-loops."""
+        totals: Dict[str, OperatorStats] = {}
+        order: List[str] = []
+        for partition in self.per_partition:
+            for op_stats in partition.operators:
+                aggregate = totals.get(op_stats.operator)
+                if aggregate is None:
+                    totals[op_stats.operator] = OperatorStats(
+                        operator=op_stats.operator, rows_out=op_stats.rows_out,
+                        seconds=op_stats.seconds, bytes_read=op_stats.bytes_read)
+                    order.append(op_stats.operator)
+                else:
+                    aggregate.rows_out += op_stats.rows_out
+                    aggregate.seconds += op_stats.seconds
+                    aggregate.bytes_read += op_stats.bytes_read
+        return [totals[name] for name in order]
 
     @property
     def per_partition_seconds(self) -> List[float]:
@@ -201,7 +315,8 @@ class QueryExecutor:
                  pushdown_through_unnest: bool = True,
                  cold_cache: bool = False,
                  access_path: str = "auto",
-                 parallelism: Optional[int] = None) -> None:
+                 parallelism: Optional[int] = None,
+                 analyze: bool = False) -> None:
         self.optimizer = Optimizer(consolidate_field_access, pushdown_through_unnest)
         #: Drop buffer caches before running (used to make query benchmarks
         #: I/O-bound like the paper's cold runs).
@@ -213,21 +328,41 @@ class QueryExecutor:
         #: (overridable via the ``REPRO_PARALLELISM`` environment variable);
         #: ``1`` runs partitions inline, sequentially, in partition order.
         self.parallelism = parallelism
+        #: Collect per-operator actuals (rows, inclusive time, bytes, cache
+        #: activity) for EXPLAIN ANALYZE.  Off by default: the probes cost a
+        #: perf_counter call per row pulled, which the plain path must not
+        #: pay.  Instrumentation also engages while tracing is enabled.
+        self.analyze = analyze
 
     # ------------------------------------------------------------------ public API
 
     def execute(self, dataset: Dataset, spec: QuerySpec) -> QueryResult:
+        with _tracer.span("query.execute", dataset=dataset.config.name) as execute_span:
+            result = self._execute(dataset, spec)
+            execute_span.set_attribute("rows", len(result.rows))
+            execute_span.set_attribute("access_path", result.stats.access_path)
+            return result
+
+    def _execute(self, dataset: Dataset, spec: QuerySpec) -> QueryResult:
         stats = ExecutionStats()
-        access_plan = self.optimizer.plan(spec, dataset.config.storage_format.uses_vector_format)
-        spec = access_plan.effective_spec(spec)
-        choice = choose_access_path(spec, dataset, force=self.access_path)
+        with _tracer.span("query.optimize"):
+            access_plan = self.optimizer.plan(
+                spec, dataset.config.storage_format.uses_vector_format)
+            spec = access_plan.effective_spec(spec)
+            choice = choose_access_path(spec, dataset, force=self.access_path)
         stats.access_path = choice.path.name
         if choice.uses_index:
             stats.index_name = choice.path.index_name
+        stats.estimated_rows = choice.estimated_rows
 
         if self.cold_cache:
             for environment in {id(env): env for env in dataset.environments}.values():
                 environment.drop_caches()
+
+        instrument = self.analyze or _tracer.enabled
+        environments = list({id(env): env for env in dataset.environments}.values())
+        caches_before = ([environment.buffer_cache.stats_snapshot()
+                          for environment in environments] if instrument else None)
 
         parallelism = self._resolve_parallelism(dataset)
         stats.parallelism = parallelism
@@ -245,20 +380,25 @@ class QueryExecutor:
         if parallelism <= 1:
             for index, partition in enumerate(dataset.partitions):
                 outputs[index], partition_stats = self._run_partition(
-                    index, partition, spec, access_plan, choice, token)
+                    index, partition, spec, access_plan, choice, token, instrument)
                 stats.per_partition.append(partition_stats)
         else:
             with ThreadPoolExecutor(max_workers=parallelism,
                                     thread_name_prefix="repro-query") as pool:
-                futures = [pool.submit(self._run_partition, index, partition,
-                                       spec, access_plan, choice, token)
+                # wrap_context per submission: each worker needs its own
+                # context copy (a Context can only be entered once at a
+                # time), and the no-op path returns the method unchanged.
+                futures = [pool.submit(_tracer.wrap_context(self._run_partition),
+                                       index, partition, spec, access_plan, choice,
+                                       token, instrument)
                            for index, partition in enumerate(dataset.partitions)]
                 for index, future in enumerate(futures):
                     outputs[index], partition_stats = future.result()
                     stats.per_partition.append(partition_stats)
 
         coordinator_started = time.perf_counter()
-        rows = self._coordinator_stage(spec, outputs)
+        with _tracer.span("query.coordinator"):
+            rows = self._coordinator_stage(spec, outputs)
         ended = time.perf_counter()
         stats.coordinator_seconds = ended - coordinator_started
         stats.wall_seconds = ended - started
@@ -268,7 +408,53 @@ class QueryExecutor:
             stats.bytes_read += partition_stats.bytes_read
             stats.bytes_written += partition_stats.bytes_written
             stats.simulated_io_seconds += partition_stats.simulated_io_seconds
+
+        if instrument:
+            for environment, before in zip(environments, caches_before):
+                cache_delta = environment.buffer_cache.stats_snapshot().diff(before)
+                stats.cache_hits += cache_delta.hits
+                stats.cache_misses += cache_delta.misses
+            self._measure_cardinality(dataset, stats)
+        self._publish_metrics(dataset, stats)
         return QueryResult(rows, stats, access_path=choice)
+
+    def _measure_cardinality(self, dataset: Dataset, stats: ExecutionStats) -> None:
+        """Record actual matched rows; warn on >10x estimate divergence.
+
+        "Matched rows" are the rows leaving the filter stage (the last
+        pipeline operator before projection/grouping), the measured analog
+        of the cost model's selectivity-based estimate — the feedback signal
+        ROADMAP item 5's adaptive statistics will consume.
+        """
+        matched = 0
+        measured = False
+        for partition in stats.per_partition:
+            if len(partition.operators) >= 2:
+                # [-1] is the terminal stage (PROJECT / GROUP BY / SORT);
+                # [-2] is the last pipeline operator — SELECT when a WHERE
+                # clause exists, otherwise the scan/unnest feeding it.
+                matched += partition.operators[-2].rows_out
+                measured = True
+        if not measured:
+            return
+        stats.actual_matched_rows = matched
+        error = stats.cardinality_error
+        if self.analyze and error is not None and error > 10.0:
+            emit_event(CARDINALITY_MISESTIMATE,
+                       dataset=dataset.config.name,
+                       access_path=stats.access_path,
+                       index=stats.index_name,
+                       estimated_rows=round(stats.estimated_rows, 1),
+                       actual_rows=matched,
+                       error_factor=round(error, 1))
+
+    @staticmethod
+    def _publish_metrics(dataset: Dataset, stats: ExecutionStats) -> None:
+        registry = dataset.metrics
+        registry.counter("queries_executed").inc()
+        registry.counter("query_rows_returned").inc(stats.rows_returned)
+        registry.counter("query_records_scanned").inc(stats.records_scanned)
+        registry.histogram("query_wall_seconds").observe(stats.wall_seconds)
 
     def _resolve_parallelism(self, dataset: Dataset) -> int:
         requested = self.parallelism
@@ -290,7 +476,8 @@ class QueryExecutor:
 
     def _run_partition(self, index: int, partition, spec: QuerySpec,
                        access_plan: AccessPlan, choice: AccessPathChoice,
-                       token: Optional[LimitCancellation]):
+                       token: Optional[LimitCancellation],
+                       instrument: bool = False):
         """One partition's full local pipeline (runs on a worker thread)."""
         partition_stats = PartitionStats(partition_id=partition.partition_id)
         partition_started = time.perf_counter()
@@ -300,41 +487,99 @@ class QueryExecutor:
             return ("plain", []), partition_stats
 
         device = partition.environment.device
-        with device.accounting_scope() as io_scope:
-            pipeline, scan = self._local_pipeline(partition, spec, access_plan, choice)
-            if spec.is_aggregation:
-                grouping = PartialGroupByOperator(pipeline, spec.group_keys, spec.aggregates)
-                output = ("partial", grouping.run())
-            elif spec.order_by:
-                output = ("ordered", self._collect_ordered(pipeline, spec))
-            else:
-                abort_check = (lambda: token.satisfied_before(index)) if token else None
-                rows, aborted = self._collect_plain(pipeline, spec, abort_check)
-                partition_stats.cancelled = aborted
-                if token is not None and not aborted:
-                    token.mark_complete(index, len(rows))
-                output = ("plain", rows)
+        with _tracer.span("query.partition",
+                          partition=partition.partition_id) as partition_span:
+            with device.accounting_scope() as io_scope:
+                pipeline, scan, probes = self._local_pipeline(
+                    partition, spec, access_plan, choice, instrument)
+                if spec.is_aggregation:
+                    grouping = PartialGroupByOperator(pipeline, spec.group_keys,
+                                                      spec.aggregates)
+                    stage_started = time.perf_counter()
+                    partial = grouping.run()
+                    output = ("partial", partial)
+                    if instrument:
+                        probes.append(_terminal_stats("GROUP BY (partial)",
+                                                      len(partial), stage_started))
+                elif spec.order_by:
+                    stage_started = time.perf_counter()
+                    candidates = self._collect_ordered(pipeline, spec)
+                    output = ("ordered", candidates)
+                    if instrument:
+                        probes.append(_terminal_stats("SORT+PROJECT",
+                                                      len(candidates), stage_started))
+                else:
+                    abort_check = (lambda: token.satisfied_before(index)) if token else None
+                    stage_started = time.perf_counter()
+                    rows, aborted = self._collect_plain(pipeline, spec, abort_check)
+                    partition_stats.cancelled = aborted
+                    if token is not None and not aborted:
+                        token.mark_complete(index, len(rows))
+                    output = ("plain", rows)
+                    if instrument:
+                        probes.append(_terminal_stats("PROJECT", len(rows), stage_started))
+            partition_span.set_attribute("rows_scanned", scan.records_scanned)
         partition_stats.seconds = time.perf_counter() - partition_started
         partition_stats.records_scanned = scan.records_scanned
         partition_stats.bytes_read = io_scope.bytes_read
         partition_stats.bytes_written = io_scope.bytes_written
         partition_stats.simulated_io_seconds = device.simulated_seconds(io_scope)
+        if instrument and probes:
+            # All page reads happen while the source operator pulls pages;
+            # downstream operators only touch decoded rows.
+            probes[0].stats.bytes_read = io_scope.bytes_read
+            for probe in probes:
+                op_stats = probe.stats if isinstance(probe, _OperatorProbe) else probe
+                partition_stats.operators.append(op_stats)
+                self._synthesize_operator_span(op_stats, partition_span)
         return output, partition_stats
 
+    @staticmethod
+    def _synthesize_operator_span(op_stats: OperatorStats, partition_span) -> None:
+        """Record a per-operator span under the partition span (tracing only).
+
+        Operator timing is collected by iterator probes, not context
+        managers, so the spans are synthesized after the fact from the
+        probes' first/last pull stamps."""
+        if not _tracer.enabled or partition_span is NULL_SPAN or op_stats.start == 0.0:
+            return
+        _tracer.record_span(f"operator.{op_stats.operator}",
+                            trace_id=partition_span.trace_id,
+                            parent_id=partition_span.span_id,
+                            start=op_stats.start, end=op_stats.end,
+                            rows=op_stats.rows_out,
+                            seconds=round(op_stats.seconds, 6))
+
     def _local_pipeline(self, partition, spec: QuerySpec, access_plan: AccessPlan,
-                        choice: AccessPathChoice):
+                        choice: AccessPathChoice, instrument: bool = False):
+        """Build the local operator chain; with ``instrument``, each stage is
+        wrapped in an :class:`_OperatorProbe` and the probe list is returned
+        (pipeline order) for EXPLAIN ANALYZE / trace synthesis."""
+        probes: List[_OperatorProbe] = []
+
+        def tap(source: Iterator, name: str) -> Iterator:
+            if not instrument:
+                return source
+            probe = _OperatorProbe(source, name)
+            probes.append(probe)
+            return probe
+
         if choice.uses_index:
             scan = IndexProbeOperator(partition, spec.record_var, access_plan, choice.path)
+            scan_name = f"IndexProbe({choice.path.index_name})"
         else:
             scan = ScanOperator(partition, spec.record_var, access_plan)
-        pipeline: Iterator = iter(scan)
+            scan_name = "FullScan"
+        pipeline: Iterator = tap(iter(scan), scan_name)
         if spec.lets:
-            pipeline = iter(LetOperator(pipeline, spec.lets))
-        for unnest_plan in access_plan.unnest_plans:
-            pipeline = iter(UnnestOperator(pipeline, unnest_plan, spec.record_var))
+            pipeline = tap(iter(LetOperator(pipeline, spec.lets)), "LET")
+        unnest_count = len(access_plan.unnest_plans)
+        for position, unnest_plan in enumerate(access_plan.unnest_plans):
+            name = "UNNEST" if unnest_count == 1 else f"UNNEST[{position}]"
+            pipeline = tap(iter(UnnestOperator(pipeline, unnest_plan, spec.record_var)), name)
         if spec.where is not None:
-            pipeline = iter(SelectOperator(pipeline, spec.where))
-        return pipeline, scan
+            pipeline = tap(iter(SelectOperator(pipeline, spec.where)), "SELECT")
+        return pipeline, scan, probes
 
     def _collect_plain(self, pipeline: Iterator, spec: QuerySpec,
                        abort_check=None) -> Tuple[List[Dict[str, Any]], bool]:
@@ -421,6 +666,17 @@ class QueryExecutor:
         receivers = dataset.partition_count - 1
         stats.schema_broadcasts += 1
         stats.schema_broadcast_bytes += sum(len(payload) for payload in payloads.values()) * receivers
+
+
+def _terminal_stats(name: str, rows_out: int, started: float) -> OperatorStats:
+    """Stats for a materializing terminal stage (GROUP BY / sort / project).
+
+    These stages drain their input inside one call rather than being pulled
+    row by row, so they are timed around the drain instead of per ``next()``;
+    ``seconds`` stays inclusive, consistent with the probe convention."""
+    ended = time.perf_counter()
+    return OperatorStats(operator=name, rows_out=rows_out,
+                         seconds=ended - started, start=started, end=ended)
 
 
 def _sort_candidates(candidates: List[Tuple[Tuple[Any, ...], Dict[str, Any]]],

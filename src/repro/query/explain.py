@@ -92,9 +92,18 @@ def _access_path_lines(choice: AccessPathChoice) -> list:
 
 def explain(dataset, query: Union[str, QuerySpec], access_path: str = "auto",
             consolidate_field_access: bool = True,
-            pushdown_through_unnest: bool = True) -> str:
-    """Render the plan for ``query`` over ``dataset`` without executing it."""
+            pushdown_through_unnest: bool = True,
+            analyze: bool = False, **executor_options) -> str:
+    """Render the plan for ``query`` over ``dataset``.
+
+    Without ``analyze`` nothing is executed.  With ``analyze=True`` the query
+    runs through an instrumented executor and an ``ANALYZE`` section renders
+    per-operator actual rows / inclusive wall time / bytes read next to the
+    plan, plus buffer-cache activity and the estimated-vs-actual cardinality
+    error; ``executor_options`` (e.g. ``parallelism=1``) configure that
+    executor."""
     spec = _spec_of(query)
+    original_spec = spec
     optimizer = Optimizer(consolidate_field_access, pushdown_through_unnest)
     access_plan = optimizer.plan(spec, dataset.config.storage_format.uses_vector_format)
     spec = access_plan.effective_spec(spec)
@@ -143,4 +152,55 @@ def explain(dataset, query: Union[str, QuerySpec], access_path: str = "auto",
     if access_plan.consolidate and access_plan.scan_paths:
         rendered = ", ".join(".".join(map(str, path)) for path in access_plan.scan_paths)
         lines.append(f"  consolidated field access: get_values({rendered})")
+    if not analyze:
+        return "\n".join(lines)
+
+    from .executor import QueryExecutor
+
+    executor = QueryExecutor(consolidate_field_access=consolidate_field_access,
+                             pushdown_through_unnest=pushdown_through_unnest,
+                             access_path=access_path, analyze=True,
+                             **executor_options)
+    result = executor.execute(dataset, original_spec)
+    lines.extend(_analyze_lines(result.stats))
     return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000.0:.3f}ms"
+
+
+def _analyze_lines(stats) -> list:
+    """Render the ANALYZE section from instrumented ExecutionStats."""
+    lines = ["  ANALYZE (query executed):"]
+    totals = stats.operator_totals()
+    if totals:
+        width = max(max(len(op.operator) for op in totals), len("operator"))
+        lines.append(f"    {'operator':<{width}}  {'actual rows':>12}  "
+                     f"{'time':>10}  {'bytes read':>12}")
+        for op in totals:
+            lines.append(f"    {op.operator:<{width}}  {op.rows_out:>12}  "
+                         f"{_format_seconds(op.seconds):>10}  {op.bytes_read:>12,}")
+        lines.append("    (time is inclusive wall time, summed across partitions)")
+    cache_total = stats.cache_hits + stats.cache_misses
+    if cache_total:
+        lines.append(f"    buffer cache: {stats.cache_hits} hit(s) / "
+                     f"{stats.cache_misses} miss(es) "
+                     f"({stats.cache_hit_ratio:.1%} hit rate)")
+    else:
+        lines.append("    buffer cache: no page accesses")
+    if stats.estimated_rows is not None and stats.actual_matched_rows is not None:
+        lines.append(f"    cardinality: estimated {stats.estimated_rows:.1f} row(s), "
+                     f"actual {stats.actual_matched_rows} row(s) matched "
+                     f"(error factor {stats.cardinality_error:.1f}x)")
+    elif stats.actual_matched_rows is not None:
+        lines.append(f"    cardinality: actual {stats.actual_matched_rows} row(s) "
+                     "matched (optimizer made no estimate)")
+    lines.append(f"    execution: wall {_format_seconds(stats.wall_seconds)} "
+                 f"(coordinator {_format_seconds(stats.coordinator_seconds)}), "
+                 f"{stats.rows_returned} row(s) returned, "
+                 f"simulated I/O {_format_seconds(stats.simulated_io_seconds)}, "
+                 f"parallelism {stats.parallelism}")
+    return lines

@@ -39,8 +39,16 @@ from .parser import Parser, parse, parse_expression, parse_statement
 
 def compile(text: str):  # noqa: A001 - mirrors the stdlib name on purpose
     """Compile one SQL++ statement: queries yield a :class:`CompiledQuery`,
-    ``CREATE INDEX`` yields a :class:`CompiledCreateIndex`."""
-    return bind_statement(parse_statement(text))
+    ``CREATE INDEX`` yields a :class:`CompiledCreateIndex`.
+
+    Parsing and binding each record a span when tracing is on (see
+    :mod:`repro.obs`), so a traced query shows its full front-end cost."""
+    from ..obs import tracer
+
+    with tracer.span("sqlpp.parse"):
+        statement = parse_statement(text)
+    with tracer.span("sqlpp.bind"):
+        return bind_statement(statement)
 
 
 __all__ = [

@@ -37,14 +37,17 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import BufferCacheFullError
+from ..obs import MetricsRegistry, StatsDictMixin, get_registry
 from .file_manager import BaseFileManager
 
 PageKey = Tuple[str, int]
 
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsDictMixin):
     """Hit/miss counters exposed to benchmarks and tests."""
+
+    _DERIVED = ("hit_ratio",)
 
     hits: int = 0
     misses: int = 0
@@ -55,6 +58,16 @@ class CacheStats:
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions, self.writes)
+
+    def diff(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since an earlier snapshot."""
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          evictions=self.evictions - earlier.evictions,
+                          writes=self.writes - earlier.writes)
 
 
 class _Frame:
@@ -68,7 +81,8 @@ class _Frame:
 class BufferCache:
     """Fixed-capacity LRU cache of uncompressed pages."""
 
-    def __init__(self, file_manager: BaseFileManager, capacity_pages: int) -> None:
+    def __init__(self, file_manager: BaseFileManager, capacity_pages: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if capacity_pages <= 0:
             raise ValueError("capacity_pages must be positive")
         self.file_manager = file_manager
@@ -77,6 +91,16 @@ class BufferCache:
         self.stats = CacheStats()
         self._frames: "OrderedDict[PageKey, _Frame]" = OrderedDict()
         self._lock = threading.RLock()
+        metrics = metrics if metrics is not None else get_registry()
+        self._hits = metrics.counter("cache_hits")
+        self._misses = metrics.counter("cache_misses")
+        self._evictions = metrics.counter("cache_evictions")
+        self._cache_writes = metrics.counter("cache_writes")
+
+    def stats_snapshot(self) -> CacheStats:
+        """Copy of the counters (use with :meth:`CacheStats.diff`)."""
+        with self._lock:
+            return self.stats.copy()
 
     # -- reads --------------------------------------------------------------------
 
@@ -87,11 +111,13 @@ class BufferCache:
             frame = self._frames.get(key)
             if frame is not None:
                 self.stats.hits += 1
+                self._hits.inc()
                 self._frames.move_to_end(key)
                 if pin:
                     frame.pin_count += 1
                 return frame.data
             self.stats.misses += 1
+            self._misses.inc()
         data = self.file_manager.read_page(file_name, page_no)
         with self._lock:
             frame = self._frames.get(key)
@@ -117,6 +143,7 @@ class BufferCache:
         self.file_manager.write_page(file_name, page_no, data)
         with self._lock:
             self.stats.writes += 1
+            self._cache_writes.inc()
             self._install((file_name, page_no), _Frame(data))
 
     # -- file-level helpers -------------------------------------------------------------
@@ -162,3 +189,4 @@ class BufferCache:
                 )
             del self._frames[victim_key]
             self.stats.evictions += 1
+            self._evictions.inc()

@@ -32,13 +32,14 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..config import DEVICE_PROFILES, DeviceKind
+from ..obs import MetricsRegistry, StatsDictMixin, get_registry
 
 
 @dataclass
-class IOStats:
+class IOStats(StatsDictMixin):
     """Cumulative I/O counters of one device (or one component of it)."""
 
     bytes_read: int = 0
@@ -88,7 +89,8 @@ class SimulatedStorageDevice:
     concurrent partition pipelines keep exact private byte counts.
     """
 
-    def __init__(self, kind: DeviceKind = DeviceKind.NVME_SSD, throttle: float = 0.0) -> None:
+    def __init__(self, kind: DeviceKind = DeviceKind.NVME_SSD, throttle: float = 0.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.kind = kind
         profile = DEVICE_PROFILES[kind]
         self.read_bandwidth = profile["read_bandwidth"]
@@ -102,6 +104,24 @@ class SimulatedStorageDevice:
         self.throttle = throttle
         self._lock = threading.Lock()
         self._local = threading.local()
+        self.metrics = metrics if metrics is not None else get_registry()
+        # Counter handles resolved once per io_class: the metrics registry's
+        # get-or-create does a dict lookup under a lock, which is too much
+        # for the per-page hot path; incrementing a resolved handle is one
+        # cheap per-instrument lock.
+        self._metric_handles: Dict[str, Tuple] = {}
+
+    def _metrics_for(self, io_class: str) -> Tuple:
+        handles = self._metric_handles.get(io_class)
+        if handles is None:
+            handles = (
+                self.metrics.counter("device_bytes_read", io_class=io_class),
+                self.metrics.counter("device_read_ops", io_class=io_class),
+                self.metrics.counter("device_bytes_written", io_class=io_class),
+                self.metrics.counter("device_write_ops", io_class=io_class),
+            )
+            self._metric_handles[io_class] = handles
+        return handles
 
     # -- recording -------------------------------------------------------------
 
@@ -110,6 +130,9 @@ class SimulatedStorageDevice:
         with self._lock:
             self.stats.add_read(nbytes)
             self._class_stats(io_class).add_read(nbytes)
+        read_bytes, read_ops, _, _ = self._metrics_for(io_class)
+        read_bytes.inc(nbytes)
+        read_ops.inc()
         for scope in getattr(self._local, "scopes", ()):
             scope.add_read(nbytes)
         if self.throttle > 0.0:
@@ -120,6 +143,9 @@ class SimulatedStorageDevice:
         with self._lock:
             self.stats.add_write(nbytes)
             self._class_stats(io_class).add_write(nbytes)
+        _, _, write_bytes, write_ops = self._metrics_for(io_class)
+        write_bytes.inc(nbytes)
+        write_ops.inc()
         for scope in getattr(self._local, "scopes", ()):
             scope.add_write(nbytes)
         if self.throttle > 0.0:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
 
 from ..errors import WALError
+from ..obs import MetricsRegistry, get_registry
 from .device import SimulatedStorageDevice
 
 #: Fixed per-record header overhead charged to the device (type, LSN, sizes).
@@ -59,12 +60,16 @@ class LogRecord:
 class WriteAheadLog:
     """Append-only log shared by all partitions of one node."""
 
-    def __init__(self, device: Optional[SimulatedStorageDevice] = None) -> None:
+    def __init__(self, device: Optional[SimulatedStorageDevice] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.device = device
         self._records: List[LogRecord] = []
         self._next_lsn = 1
         self._truncated_up_to = 0
         self.bytes_written = 0
+        metrics = metrics if metrics is not None else get_registry()
+        self._appends_metric = metrics.counter("wal_records_appended")
+        self._bytes_metric = metrics.counter("wal_bytes_written")
         # Background LSM maintenance appends FLUSH markers and truncates from
         # flush-worker threads while partition writers keep appending: LSN
         # assignment and the record list are guarded so no record is lost and
@@ -80,6 +85,8 @@ class WriteAheadLog:
             self._next_lsn += 1
             self._records.append(record)
             self.bytes_written += record.size_bytes
+        self._appends_metric.inc()
+        self._bytes_metric.inc(record.size_bytes)
         if self.device is not None:
             self.device.record_write(record.size_bytes, io_class="log")
         return record

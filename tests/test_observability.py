@@ -1,0 +1,567 @@
+"""Observability layer: metrics registry, tracing, EXPLAIN ANALYZE, events.
+
+Covers the guarantees the layer advertises (README "Observability"):
+
+* the metrics registry is thread-safe, label-aware, and type-strict, and
+  ``metrics_delta`` reports per-run activity without resets;
+* tracing is off by default with a shared no-op span (identity-checkable),
+  results are identical with tracing on or off, and span parent/child links
+  survive the query worker pool and the background-maintenance scheduler
+  threads — including under concurrent queries + merges (hypothesis);
+* ``REPRO_TRACE=<path>`` exports JSONL that the bundled validator accepts;
+* ``explain(analyze=True)`` renders per-operator actuals for every
+  workload's SQL++ query suite, and a >10x estimated-vs-actual cardinality
+  divergence emits a structured warning.
+"""
+
+import json
+import logging
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, LSMConfig, StorageFormat, metrics_delta
+from repro.cluster import DataFeed
+from repro.datasets import sensors, twitter, wos
+from repro.obs import (
+    CARDINALITY_MISESTIMATE,
+    MetricsRegistry,
+    NULL_SPAN,
+    StatsDictMixin,
+    emit_event,
+    get_registry,
+    get_tracer,
+    validate_trace_lines,
+)
+from repro.query import ExecutionStats, OperatorStats, PartitionStats, QueryExecutor
+
+#: Small memtables so ingest produces flushes and merges mid-run.
+SMALL_LSM = dict(memory_component_budget=16 * 1024,
+                 max_tolerable_component_count=3)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts with an empty tracer and leaves it env-driven."""
+    tracer = get_tracer()
+    tracer.refresh_from_env()
+    tracer.clear()
+    yield tracer
+    tracer.refresh_from_env()
+    tracer.clear()
+
+
+def _dataset(name, records=(), partitions=2, background=False, **create_kwargs):
+    lsm = LSMConfig(background_maintenance=background, **SMALL_LSM) if background else None
+    if lsm is not None:
+        create_kwargs.setdefault("lsm", lsm)
+    dataset = Dataset.create(name, StorageFormat.INFERRED, partitions=partitions,
+                             **create_kwargs)
+    for record in records:
+        dataset.insert(record)
+    if records:
+        dataset.flush_all()
+    return dataset
+
+
+def _employee_records(count=120):
+    return [{"id": i, "name": f"n{i}", "age": 20 + (i % 40)} for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        registry.gauge("g").set(7)
+        registry.gauge("g").dec(3)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 3.5
+        assert snap["gauges"]["g"] == 4
+        assert snap["histograms"]["h"] == {
+            "count": 2, "sum": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0}
+        json.dumps(snap)  # snapshot must be JSON-serializable as-is
+
+    def test_labels_create_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes", io_class="data").inc(10)
+        registry.counter("bytes", io_class="log").inc(1)
+        assert registry.counter("bytes", io_class="data") is registry.counter(
+            "bytes", io_class="data")
+        snap = registry.snapshot()["counters"]
+        assert snap["bytes{io_class=data}"] == 10
+        assert snap["bytes{io_class=log}"] == 1
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_type_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        registry.counter("labeled", a=1)
+        with pytest.raises(TypeError):
+            registry.histogram("labeled", a=2)
+
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        threads = [threading.Thread(
+            target=lambda worker=i % 2: [registry.counter("hits", worker=worker).inc()
+                                         for _ in range(500)])
+            for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counters = registry.snapshot()["counters"]
+        assert counters["hits{worker=0}"] + counters["hits{worker=1}"] == 4000
+
+    def test_metrics_delta_subtracts_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h").observe(2.0)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(9)
+        delta = metrics_delta(registry.snapshot(), before)
+        assert delta["counters"]["c"] == 3
+        assert delta["gauges"]["g"] == 9  # gauges keep the current value
+        assert delta["histograms"]["h"]["count"] == 0
+        assert delta["histograms"]["h"]["min"] == 0.0  # zeroed: no new samples
+
+
+# ---------------------------------------------------------------------------
+# stats to_dict protocol
+# ---------------------------------------------------------------------------
+
+class TestStatsDict:
+    def test_execution_stats_to_dict_is_json_ready(self):
+        stats = ExecutionStats(wall_seconds=0.5, estimated_rows=10.0,
+                               actual_matched_rows=3)
+        stats.per_partition.append(PartitionStats(
+            partition_id=0, operators=[OperatorStats("FullScan", rows_out=4)]))
+        data = stats.to_dict()
+        json.dumps(data)
+        assert data["per_partition"][0]["operators"][0]["operator"] == "FullScan"
+        assert data["cardinality_error"] == pytest.approx(11.0 / 4.0)
+        assert "cache_hit_ratio" in data  # derived properties exported
+
+    def test_engine_reports_share_the_protocol(self):
+        dataset = _dataset("ObsDictDs", _employee_records(40))
+        try:
+            feed_report_cls = DataFeed(dataset).run([]).__class__
+            assert issubclass(feed_report_cls, StatsDictMixin)
+            snapshot = dataset.environments[0].buffer_cache.stats_snapshot()
+            json.dumps(snapshot.to_dict())
+            json.dumps(dataset.partitions[0].index.stats.to_dict())
+        finally:
+            dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# tracer core
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    def test_disabled_by_default_returns_null_span(self, _clean_tracer, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        tracer = _clean_tracer
+        tracer.refresh_from_env()
+        assert not tracer.enabled
+        assert tracer.span("anything") is NULL_SPAN  # no allocation per call
+        def fn():
+            return 1
+        assert tracer.wrap_context(fn) is fn
+
+    def test_span_nesting_assigns_parent_and_trace(self, _clean_tracer):
+        tracer = _clean_tracer
+        tracer.enable()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        spans = {span.name: span for span in tracer.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+        assert spans["outer"].end >= spans["inner"].end
+
+    def test_exception_is_recorded_on_span(self, _clean_tracer):
+        tracer = _clean_tracer
+        tracer.enable()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("failed")
+        (span,) = tracer.spans()
+        assert "RuntimeError" in span.attributes["error"]
+
+    def test_env_var_file_export_produces_valid_jsonl(self, _clean_tracer,
+                                                      monkeypatch, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        tracer = _clean_tracer
+        tracer.refresh_from_env()
+        assert tracer.enabled
+        dataset = _dataset("ObsExportDs", _employee_records(60))
+        try:
+            dataset.query("SELECT e.name AS name FROM ObsExportDs AS e WHERE e.age < 30")
+            emit_event("test_event", detail=1)
+        finally:
+            dataset.close()
+        tracer.refresh_from_env()  # close the export handle
+        lines = path.read_text().splitlines()
+        errors, counts = validate_trace_lines(lines)
+        assert errors == []
+        assert counts["spans"] > 0
+        assert counts["events"] >= 1
+
+    def test_truthy_env_flag_keeps_spans_in_memory_only(self, _clean_tracer,
+                                                        monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.chdir(tmp_path)
+        tracer = _clean_tracer
+        tracer.refresh_from_env()
+        with tracer.span("only_memory"):
+            pass
+        assert [span.name for span in tracer.spans()] == ["only_memory"]
+        assert list(tmp_path.iterdir()) == []  # no file named "1" appeared
+
+
+class TestTraceValidator:
+    def test_rejects_orphans_duplicates_and_bad_fields(self):
+        good = {"type": "span", "trace_id": "t1", "span_id": "s1",
+                "parent_id": None, "name": "root", "start": 1.0, "end": 2.0,
+                "thread": "main", "attributes": {}}
+        orphan = dict(good, span_id="s2", parent_id="s99")
+        duplicate = dict(good)
+        backwards = dict(good, span_id="s3", parent_id=None, start=5.0, end=1.0)
+        missing = {"type": "span", "span_id": "s4"}
+        lines = [json.dumps(record) for record in
+                 (good, orphan, duplicate, backwards, missing)] + ["not json"]
+        errors, counts = validate_trace_lines(lines)
+        assert counts["spans"] == 5
+        assert any("orphan" in error for error in errors)
+        assert any("duplicate" in error for error in errors)
+        assert any("ends before" in error for error in errors)
+        assert any("missing fields" in error for error in errors)
+        assert any("not valid JSON" in error for error in errors)
+
+    def test_accepts_a_real_exported_tree(self, _clean_tracer):
+        tracer = _clean_tracer
+        tracer.enable()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        lines = [json.dumps(span.to_dict()) for span in tracer.spans()]
+        errors, counts = validate_trace_lines(lines)
+        assert errors == []
+        assert counts == {"spans": 2, "events": 0, "traces": 1}
+
+
+# ---------------------------------------------------------------------------
+# engine integration: span trees across pools and scheduler threads
+# ---------------------------------------------------------------------------
+
+def _assert_sound_tree(spans):
+    """Every parented span's parent exists, in the same trace, and every
+    recorded span tree keeps parent intervals enclosing synthesized child
+    start times (operators are recorded post-hoc, so only starts nest)."""
+    by_id = {span.span_id: span for span in spans}
+    assert len(by_id) == len(spans), "duplicate span ids"
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        assert span.parent_id in by_id, f"orphan span {span.name}"
+        parent = by_id[span.parent_id]
+        assert parent.trace_id == span.trace_id
+        assert parent.start <= span.start + 1e-6
+
+
+class TestEngineTracing:
+    def test_query_span_tree_covers_every_layer(self, _clean_tracer):
+        tracer = _clean_tracer
+        tracer.enable()
+        dataset = _dataset("ObsTreeDs", _employee_records(80), partitions=2)
+        try:
+            dataset.query("SELECT e.name AS name FROM ObsTreeDs AS e WHERE e.age < 30")
+            spans = tracer.spans(dataset._last_trace_id)
+            names = {span.name for span in spans}
+            assert {"query", "sqlpp.parse", "sqlpp.bind", "query.execute",
+                    "query.optimize", "query.partition",
+                    "query.coordinator"} <= names
+            assert any(name.startswith("operator.") for name in names)
+            _assert_sound_tree(spans)
+            assert len([span for span in spans if span.name == "query.partition"]) == 2
+            # last_trace() exposes the same tree as dicts
+            exported = dataset.last_trace()
+            assert {entry["span_id"] for entry in exported} == {
+                span.span_id for span in spans}
+        finally:
+            dataset.close()
+
+    def test_background_maintenance_spans_attach_under_ingest(self, _clean_tracer):
+        tracer = _clean_tracer
+        tracer.enable()
+        dataset = _dataset("ObsBgDs", partitions=2, background=True)
+        try:
+            feed = DataFeed(dataset, per_partition_ingest=True)
+            feed.run(twitter.generate(120))
+            feed.close()
+        finally:
+            dataset.close()
+        spans = tracer.spans()
+        _assert_sound_tree(spans)
+        flushes = [span for span in spans if span.name == "lsm.flush"]
+        assert flushes, "small memtables must have flushed during the feed"
+        feed_span = next(span for span in spans if span.name == "feed.run")
+        by_id = {span.span_id: span for span in spans}
+
+        def root_of(span):
+            while span.parent_id is not None:
+                span = by_id[span.parent_id]
+            return span
+
+        # Flushes whose maintenance was submitted while the feed span was
+        # open attach under it (context propagation through the scheduler);
+        # flushes forced later by feed.close()'s flush barrier start fresh
+        # traces, so assert the during-feed population, not all of them.
+        in_feed = [flush for flush in flushes
+                   if root_of(flush).trace_id == feed_span.trace_id]
+        assert in_feed, "no flush span attached under the ingest span"
+        for flush in in_feed:
+            assert flush.trace_id == feed_span.trace_id
+
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(partitions=st.integers(min_value=2, max_value=3),
+           query_threads=st.integers(min_value=2, max_value=3))
+    def test_span_integrity_under_concurrent_queries_and_merges(
+            self, partitions, query_threads):
+        """Stress: parallel queries race background flushes/merges; the span
+        forest must stay sound (no orphans, no cross-trace parents)."""
+        tracer = get_tracer()
+        tracer.refresh_from_env()
+        tracer.clear()
+        tracer.enable()
+        dataset = _dataset(f"ObsStress{partitions}", partitions=partitions,
+                           background=True)
+        errors = []
+        try:
+            feed = DataFeed(dataset, per_partition_ingest=True)
+            feed.run(twitter.generate(80))
+
+            def run_queries():
+                try:
+                    for _ in range(3):
+                        rows = dataset.query(
+                            "SELECT VALUE count(*) FROM Tweets AS t")
+                        assert len(rows.rows) == 1
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=run_queries)
+                       for _ in range(query_threads)]
+            for thread in threads:
+                thread.start()
+            feed.run(twitter.generate(80, start_id=80))
+            for thread in threads:
+                thread.join()
+            feed.close()
+        finally:
+            dataset.close()
+            spans = tracer.spans()
+            tracer.disable()
+            tracer.clear()
+        assert not errors, errors
+        _assert_sound_tree(spans)
+        roots = [span for span in spans
+                 if span.parent_id is None and span.name == "query"]
+        assert len(roots) == query_threads * 3
+        assert len({span.trace_id for span in roots}) == len(roots)
+
+
+# ---------------------------------------------------------------------------
+# on/off parity
+# ---------------------------------------------------------------------------
+
+class TestParity:
+    QUERY = ("SELECT e.age AS age, count(*) AS c FROM Parity AS e "
+             "GROUP BY e.age AS age ORDER BY c DESC, age LIMIT 5")
+
+    def test_results_identical_and_disabled_path_stays_bare(self, _clean_tracer,
+                                                            monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        tracer = _clean_tracer
+        tracer.refresh_from_env()
+        dataset = _dataset("ObsParityDs", _employee_records(200), partitions=2)
+        try:
+            off = dataset.query(self.QUERY)
+            assert off.stats.per_partition[0].operators == []  # no probes built
+            assert dataset.last_trace() == []
+            tracer.enable()
+            on = dataset.query(self.QUERY)
+            assert on.rows == off.rows
+            assert on.stats.per_partition[0].operators  # probes engaged
+            tracer.disable()
+            off_again = dataset.query(self.QUERY)
+            assert off_again.rows == off.rows
+        finally:
+            dataset.close()
+
+    def test_disabled_overhead_is_negligible(self, _clean_tracer, monkeypatch):
+        """Disabled runs must not be slower than instrumented runs (with
+        scheduling slack): the fast path really skips the probes."""
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        tracer = _clean_tracer
+        tracer.refresh_from_env()
+        dataset = _dataset("ObsOverheadDs", _employee_records(400), partitions=1)
+
+        def median_seconds(executor, rounds=7):
+            times = []
+            spec_result = None
+            for _ in range(rounds):
+                started = time.perf_counter()
+                spec_result = dataset.query(self.QUERY, executor=executor)
+                times.append(time.perf_counter() - started)
+            times.sort()
+            return times[len(times) // 2], spec_result
+
+        try:
+            disabled, off_rows = median_seconds(QueryExecutor())
+            analyzing, on_rows = median_seconds(QueryExecutor(analyze=True))
+            assert off_rows.rows == on_rows.rows
+            assert disabled <= analyzing * 1.05 + 0.01
+        finally:
+            dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE + events
+# ---------------------------------------------------------------------------
+
+class TestExplainAnalyze:
+    @pytest.mark.parametrize("generator,count", [
+        (twitter, 250), (wos, 150), (sensors, 120)])
+    def test_workload_sqlpp_suites_render_actuals(self, generator, count):
+        dataset = Dataset.create(f"Obs{generator.__name__.split('.')[-1]}",
+                                 StorageFormat.INFERRED, partitions=2)
+        try:
+            dataset.insert_all(generator.generate(count))
+            dataset.flush_all()
+            for name, text in generator.SQLPP.items():
+                plain = dataset.explain(text)
+                analyzed = dataset.explain(text, analyze=True)
+                assert "ANALYZE" not in plain
+                assert analyzed.startswith(plain.splitlines()[0])
+                assert "ANALYZE (query executed)" in analyzed
+                assert "actual rows" in analyzed
+                assert "buffer cache" in analyzed
+                assert "execution: wall" in analyzed, name
+        finally:
+            dataset.close()
+
+    def test_analyze_populates_cardinality_and_operator_totals(self):
+        dataset = _dataset("ObsCardDs", _employee_records(150), partitions=2)
+        try:
+            dataset.create_secondary_index("by_age", ("age",))
+            executor = QueryExecutor(analyze=True)
+            from repro.sqlpp import compile as compile_sqlpp
+
+            compiled = compile_sqlpp(
+                "SELECT e.name AS name FROM ObsCardDs AS e WHERE e.age < 22")
+            result = executor.execute(dataset, compiled.spec)
+            stats = result.stats
+            assert stats.actual_matched_rows == len(result.rows)
+            if stats.estimated_rows is not None:
+                assert stats.cardinality_error >= 1.0
+            totals = stats.operator_totals()
+            assert totals[-1].operator == "PROJECT"
+            assert totals[-1].rows_out == len(result.rows)
+            assert totals[0].bytes_read == stats.bytes_read
+        finally:
+            dataset.close()
+
+    def test_misestimate_emits_structured_warning(self, _clean_tracer, caplog):
+        tracer = _clean_tracer
+        tracer.enable()
+        dataset = _dataset("ObsWarnDs", _employee_records(30))
+        try:
+            executor = QueryExecutor(analyze=True)
+            stats = ExecutionStats(estimated_rows=1000.0, access_path="IndexProbe",
+                                   index_name="by_age")
+            stats.per_partition.append(PartitionStats(
+                partition_id=0,
+                operators=[OperatorStats("SELECT", rows_out=5),
+                           OperatorStats("PROJECT", rows_out=5)]))
+            before = get_registry().snapshot()
+            with caplog.at_level(logging.WARNING, logger="repro.obs"):
+                executor._measure_cardinality(dataset, stats)
+            assert stats.actual_matched_rows == 5
+            assert stats.cardinality_error > 10
+            record = next(rec for rec in caplog.records
+                          if CARDINALITY_MISESTIMATE in rec.getMessage())
+            assert "error_factor" in record.getMessage()
+            delta = metrics_delta(get_registry().snapshot(), before)
+            assert delta["counters"][
+                f"events_total{{event={CARDINALITY_MISESTIMATE}}}"] == 1
+            assert tracer.events(CARDINALITY_MISESTIMATE)
+        finally:
+            dataset.close()
+
+    def test_no_warning_inside_tolerance(self, _clean_tracer, caplog):
+        dataset = _dataset("ObsQuietDs", _employee_records(30))
+        try:
+            executor = QueryExecutor(analyze=True)
+            stats = ExecutionStats(estimated_rows=6.0)
+            stats.per_partition.append(PartitionStats(
+                partition_id=0,
+                operators=[OperatorStats("SELECT", rows_out=5),
+                           OperatorStats("PROJECT", rows_out=5)]))
+            with caplog.at_level(logging.WARNING, logger="repro.obs"):
+                executor._measure_cardinality(dataset, stats)
+            assert stats.cardinality_error < 10
+            assert not [rec for rec in caplog.records
+                        if CARDINALITY_MISESTIMATE in rec.getMessage()]
+        finally:
+            dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# metrics integration across the engine
+# ---------------------------------------------------------------------------
+
+class TestEngineMetrics:
+    def test_layers_publish_into_one_registry(self):
+        registry = get_registry()
+        before = registry.snapshot()
+        dataset = _dataset("ObsEngineDs", partitions=2, background=True)
+        try:
+            feed = DataFeed(dataset, per_partition_ingest=True)
+            report = feed.run(twitter.generate(150))
+            feed.close()
+            dataset.query("SELECT VALUE count(*) FROM Tweets AS t")
+            delta = metrics_delta(dataset.metrics_snapshot(), before)
+            counters = delta["counters"]
+            assert counters["lsm_flushes"] > 0
+            assert counters["lsm_memtable_seals"] > 0
+            assert counters["wal_records_appended"] >= 150
+            assert counters["queries_executed"] == 1
+            assert counters["scheduler_tasks_completed{kind=flush}"] > 0
+            assert any(key.startswith("device_bytes_written") for key in counters)
+            assert delta["histograms"]["query_wall_seconds"]["count"] == 1
+            # the feed report carries its own (earlier) delta window — close()
+            # flushes the remainder afterwards, so report <= final.
+            assert 0 < report.metrics["counters"]["lsm_flushes"] <= counters["lsm_flushes"]
+            json.dumps(report.to_dict())
+        finally:
+            dataset.close()
