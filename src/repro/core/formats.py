@@ -24,6 +24,25 @@ from ..types import AMultiset, Datatype, MISSING
 from ..vector import VectorEncoder, VectorRecordView
 
 
+def _navigate(value: Any, path: Sequence[Any]) -> Any:
+    """Navigate a path of field names / collection indexes into plain values."""
+    for step in path:
+        if value is MISSING or value is None:
+            return MISSING
+        if isinstance(step, str):
+            if isinstance(value, dict) and step in value:
+                value = value[step]
+            else:
+                return MISSING
+        else:
+            items = value.items if isinstance(value, AMultiset) else value
+            if (not isinstance(items, (list, tuple)) or not isinstance(step, int)
+                    or step < 0 or step >= len(items)):
+                return MISSING
+            value = items[step]
+    return value
+
+
 class DictRecordView:
     """Record view over an already-materialized Python dict."""
 
@@ -66,17 +85,18 @@ class DictRecordView:
             if "*" in path:
                 index = path.index("*")
                 prefix, suffix = list(path[:index]), list(path[index + 1:])
-                collection = self.get_field(*prefix)
+                collection = self.get_field(*prefix) if prefix else self.record
                 items = collection.items if isinstance(collection, AMultiset) else collection
-                matches = []
                 if isinstance(items, (list, tuple)):
-                    for item in items:
-                        value = DictRecordView(item).get_field(*suffix) if suffix else item
-                        if isinstance(item, dict) or not suffix:
-                            matches.append(value if suffix else item)
-                        else:
-                            matches.append(MISSING)
-                results.append(matches)
+                    results.append([_navigate(item, suffix) for item in items]
+                                   if suffix else list(items))
+                elif collection is MISSING or collection is None:
+                    results.append([])
+                else:
+                    # Non-collection at the wildcard prefix: pass the value
+                    # through so callers can apply SQL++ singleton semantics
+                    # (mirrors VectorRecordView.get_values).
+                    results.append(collection)
             else:
                 results.append(self.get_field(*path))
         return results

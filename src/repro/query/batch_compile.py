@@ -1,0 +1,476 @@
+"""Batch (columnar) compilation of query expressions.
+
+The row pipeline interprets an expression tree once per environment.  Batch
+execution compiles the same tree once per query into *column evaluators* —
+closures mapping a :class:`~repro.vector.batch.ColumnBatch` to a list of
+per-row values — so the per-record interpreter dispatch, environment dicts,
+and EXTRACTED lookups disappear from the hot loop.
+
+Two invariants keep batch results row-identical:
+
+* every evaluator reuses the row operators' building blocks
+  (``Comparison._OPS``, ``_FUNCTIONS``, ``access_path``, the MISSING/NULL
+  propagation rules), so a value computed from a column is the value the
+  row evaluator would have computed from the environment;
+* anything the compiler cannot express raises :class:`BatchUnsupported`,
+  which :func:`plan_batch` turns into a fallback reason — the executor then
+  runs the unchanged row pipeline.
+
+``AND``/``OR`` are the one deliberate divergence in *evaluation order*: the
+row evaluator short-circuits, the batch evaluator computes every operand
+column.  All expression functions here are pure (arithmetic returns None on
+division by zero instead of raising), so the results are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..types import MISSING, Missing
+from ..vector.batch import BatchExtractor, ColumnBatch
+from .expressions import (
+    _FUNCTIONS,
+    _collection_items,
+    And,
+    Arithmetic,
+    Comparison,
+    Exists,
+    Expr,
+    FieldAccess,
+    Func,
+    IsTest,
+    Literal,
+    Not,
+    Or,
+    Var,
+    access_path,
+    is_absent,
+)
+from .optimizer import AccessPlan, Path
+from .plan import QuerySpec
+
+#: A compiled expression: batch in, one value per row out.
+ColumnEval = Callable[[ColumnBatch], List[Any]]
+
+
+class BatchUnsupported(Exception):
+    """An expression or plan shape the batch compiler cannot handle."""
+
+
+class _Context:
+    """Which columns an evaluator may address, by variable."""
+
+    __slots__ = ("record_var", "record_paths", "let_names", "item_var", "item_paths")
+
+    def __init__(self, record_var: str, record_paths: Set[Path],
+                 item_var: Optional[str] = None,
+                 item_paths: frozenset = frozenset()) -> None:
+        self.record_var = record_var
+        #: Mutable: compiling a field access on the scan variable registers
+        #: its path here, so the batch scan extracts every addressed column
+        #: (including paths the optimizer dropped from its own scan list,
+        #: e.g. a projected collection whose UNNEST was pushed down).
+        self.record_paths = record_paths
+        self.let_names: Set[str] = set()
+        self.item_var = item_var
+        self.item_paths = item_paths
+
+
+def _mentions(expr: Expr, name: str) -> bool:
+    return any((isinstance(node, Var) and node.name == name)
+               or (isinstance(node, FieldAccess) and node.source == name)
+               for node in expr.walk())
+
+
+def compile_expr(expr: Expr, ctx: _Context) -> ColumnEval:
+    """Compile one expression into a column evaluator (or raise)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda batch: [value] * batch.length
+
+    if isinstance(expr, Var):
+        name = expr.name
+        if name == ctx.record_var:
+            return lambda batch: batch.views
+        if name in ctx.let_names:
+            key = (name, ())
+            return lambda batch: batch.columns[key]
+        raise BatchUnsupported(f"variable ${name} has no batch column")
+
+    if isinstance(expr, FieldAccess):
+        source, path = expr.source, expr.path
+        if source == ctx.record_var:
+            ctx.record_paths.add(path)
+            key = (source, path)
+            return lambda batch: batch.columns[key]
+        if source == ctx.item_var and path in ctx.item_paths:
+            key = (source, path)
+            return lambda batch: batch.columns[key]
+        if source in ctx.let_names:
+            key = (source, ())
+            return lambda batch: [access_path(value, path)
+                                  for value in batch.columns[key]]
+        raise BatchUnsupported(f"field access on ${source} has no batch column")
+
+    if isinstance(expr, (Comparison, Arithmetic)):
+        left = compile_expr(expr.left, ctx)
+        right = compile_expr(expr.right, ctx)
+        op = type(expr)._OPS[expr.op]
+
+        def binary(batch: ColumnBatch) -> List[Any]:
+            out = []
+            for lhs, rhs in zip(left(batch), right(batch)):
+                if is_absent(lhs) or is_absent(rhs):
+                    out.append(MISSING)
+                    continue
+                try:
+                    out.append(op(lhs, rhs))
+                except TypeError:
+                    out.append(MISSING)
+            return out
+
+        return binary
+
+    if isinstance(expr, And):
+        operands = [compile_expr(operand, ctx) for operand in expr.operands]
+
+        def conjunction(batch: ColumnBatch) -> List[Any]:
+            columns = [operand(batch) for operand in operands]
+            out = []
+            for row in range(batch.length):
+                result = True
+                for column in columns:
+                    value = column[row]
+                    if is_absent(value) or not value:
+                        result = False
+                        break
+                out.append(result)
+            return out
+
+        return conjunction
+
+    if isinstance(expr, Or):
+        operands = [compile_expr(operand, ctx) for operand in expr.operands]
+
+        def disjunction(batch: ColumnBatch) -> List[Any]:
+            columns = [operand(batch) for operand in operands]
+            out = []
+            for row in range(batch.length):
+                out.append(any(not is_absent(column[row]) and bool(column[row])
+                               for column in columns))
+            return out
+
+        return disjunction
+
+    if isinstance(expr, Not):
+        operand = compile_expr(expr.operand, ctx)
+
+        def negation(batch: ColumnBatch) -> List[Any]:
+            return [MISSING if is_absent(value) else not value
+                    for value in operand(batch)]
+
+        return negation
+
+    if isinstance(expr, IsTest):
+        operand = compile_expr(expr.operand, ctx)
+        test = _is_test(expr)
+
+        def membership(batch: ColumnBatch) -> List[Any]:
+            return [test(value) for value in operand(batch)]
+
+        return membership
+
+    if isinstance(expr, Func):
+        name = expr.name
+        arguments = [compile_expr(argument, ctx) for argument in expr.args]
+
+        def function(batch: ColumnBatch) -> List[Any]:
+            columns = [argument(batch) for argument in arguments]
+            implementation = _FUNCTIONS[name]
+            out = []
+            for row in range(batch.length):
+                values = [column[row] for column in columns]
+                if values and is_absent(values[0]):
+                    out.append(MISSING)
+                else:
+                    out.append(implementation(*values))
+            return out
+
+        return function
+
+    if isinstance(expr, Exists):
+        for node in expr.predicate.walk():
+            if isinstance(node, Exists) and node.item_var == expr.item_var:
+                raise BatchUnsupported("nested EXISTS re-binds the quantifier variable")
+        collection = compile_expr(expr.collection, ctx)
+        predicate = _compile_item_predicate(expr.predicate, expr.item_var, ctx)
+
+        def exists(batch: ColumnBatch) -> List[Any]:
+            values = collection(batch)
+            test = predicate(batch)
+            out = []
+            for row, value in enumerate(values):
+                items = _collection_items(value)
+                if items is None:
+                    out.append(False)
+                    continue
+                result = False
+                for item in items:
+                    verdict = test(row, item)
+                    if not is_absent(verdict) and verdict:
+                        result = True
+                        break
+                out.append(result)
+            return out
+
+        return exists
+
+    raise BatchUnsupported(f"expression {type(expr).__name__} is not batch-compilable")
+
+
+def _is_test(expr: IsTest) -> Callable[[Any], bool]:
+    kind, negated = expr.kind, expr.negated
+
+    def test(value: Any) -> bool:
+        if kind == "null":
+            result = value is None
+        elif kind == "missing":
+            result = isinstance(value, Missing)
+        else:
+            result = is_absent(value)
+        return not result if negated else result
+
+    return test
+
+
+# ---------------------------------------------------------------------------
+# EXISTS item predicates: per-(row, item) scalar evaluators
+# ---------------------------------------------------------------------------
+
+#: factory(batch) -> fn(row, item) -> value.  Subexpressions that do not
+#: mention the quantifier variable are hoisted: compiled as ordinary column
+#: evaluators, computed once per batch, and indexed by row.
+_ItemEval = Callable[[ColumnBatch], Callable[[int, Any], Any]]
+
+
+def _compile_item_predicate(expr: Expr, item_var: str, ctx: _Context) -> _ItemEval:
+    if not _mentions(expr, item_var):
+        column = compile_expr(expr, ctx)
+
+        def hoisted(batch: ColumnBatch):
+            values = column(batch)
+            return lambda row, item: values[row]
+
+        return hoisted
+
+    if isinstance(expr, Var) and expr.name == item_var:
+        return lambda batch: lambda row, item: item
+
+    if isinstance(expr, FieldAccess) and expr.source == item_var:
+        path = expr.path
+        return lambda batch: lambda row, item: access_path(item, path)
+
+    if isinstance(expr, (Comparison, Arithmetic)):
+        left = _compile_item_predicate(expr.left, item_var, ctx)
+        right = _compile_item_predicate(expr.right, item_var, ctx)
+        op = type(expr)._OPS[expr.op]
+
+        def binary(batch: ColumnBatch):
+            lhs, rhs = left(batch), right(batch)
+
+            def evaluate(row: int, item: Any) -> Any:
+                left_value = lhs(row, item)
+                right_value = rhs(row, item)
+                if is_absent(left_value) or is_absent(right_value):
+                    return MISSING
+                try:
+                    return op(left_value, right_value)
+                except TypeError:
+                    return MISSING
+
+            return evaluate
+
+        return binary
+
+    if isinstance(expr, And):
+        operands = [_compile_item_predicate(operand, item_var, ctx)
+                    for operand in expr.operands]
+
+        def conjunction(batch: ColumnBatch):
+            tests = [operand(batch) for operand in operands]
+
+            def evaluate(row: int, item: Any) -> Any:
+                for test in tests:
+                    value = test(row, item)
+                    if is_absent(value) or not value:
+                        return False
+                return True
+
+            return evaluate
+
+        return conjunction
+
+    if isinstance(expr, Or):
+        operands = [_compile_item_predicate(operand, item_var, ctx)
+                    for operand in expr.operands]
+
+        def disjunction(batch: ColumnBatch):
+            tests = [operand(batch) for operand in operands]
+
+            def evaluate(row: int, item: Any) -> Any:
+                return any(not is_absent(value) and bool(value)
+                           for value in (test(row, item) for test in tests))
+
+            return evaluate
+
+        return disjunction
+
+    if isinstance(expr, Not):
+        operand = _compile_item_predicate(expr.operand, item_var, ctx)
+
+        def negation(batch: ColumnBatch):
+            test = operand(batch)
+
+            def evaluate(row: int, item: Any) -> Any:
+                value = test(row, item)
+                if is_absent(value):
+                    return MISSING
+                return not value
+
+            return evaluate
+
+        return negation
+
+    if isinstance(expr, IsTest):
+        operand = _compile_item_predicate(expr.operand, item_var, ctx)
+        test = _is_test(expr)
+
+        def membership(batch: ColumnBatch):
+            source = operand(batch)
+            return lambda row, item: test(source(row, item))
+
+        return membership
+
+    if isinstance(expr, Func):
+        name = expr.name
+        arguments = [_compile_item_predicate(argument, item_var, ctx)
+                     for argument in expr.args]
+
+        def function(batch: ColumnBatch):
+            sources = [argument(batch) for argument in arguments]
+            implementation = _FUNCTIONS[name]
+
+            def evaluate(row: int, item: Any) -> Any:
+                values = [source(row, item) for source in sources]
+                if values and is_absent(values[0]):
+                    return MISSING
+                return implementation(*values)
+
+            return evaluate
+
+        return function
+
+    raise BatchUnsupported(
+        f"EXISTS predicate over {type(expr).__name__} is not batch-compilable")
+
+
+# ---------------------------------------------------------------------------
+# whole-query planning
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchUnnestPlan:
+    """Pushed-down UNNEST: flatten per-row aligned item columns."""
+
+    item_var: str
+    #: item-var path -> full wildcard path on the scan variable.
+    pushdown_paths: Dict[Path, Path]
+
+
+@dataclass
+class BatchQueryPlan:
+    """Everything the batch pipeline needs, compiled once per query.
+
+    The plan is immutable and shared across partition workers: the
+    extractor's request trie is read-only after construction, and every
+    evaluator closure only reads the batch it is given.
+    """
+
+    record_var: str
+    #: Columns the batch scan extracts per record (superset of the access
+    #: plan's scan paths: every path an evaluator addresses).
+    scan_paths: List[Path]
+    extractor: BatchExtractor
+    lets: List[Tuple[str, ColumnEval]] = field(default_factory=list)
+    unnest: Optional[BatchUnnestPlan] = None
+    where: Optional[ColumnEval] = None
+    group_keys: List[Tuple[str, ColumnEval]] = field(default_factory=list)
+    #: One entry per aggregate spec; None marks COUNT(*).
+    aggregate_args: List[Optional[ColumnEval]] = field(default_factory=list)
+    projections: List[Tuple[str, ColumnEval]] = field(default_factory=list)
+    #: Sort-key evaluators for non-grouped ORDER BY, in key order.
+    order_keys: List[ColumnEval] = field(default_factory=list)
+
+
+def plan_batch(spec: QuerySpec, access_plan: AccessPlan):
+    """Compile ``spec`` for batch execution.
+
+    Returns ``(plan, None)`` on success or ``(None, reason)`` when the query
+    must run on the row pipeline.  ``spec`` is the access plan's *effective*
+    spec (EXISTS rewrites applied).
+    """
+    if not access_plan.consolidate:
+        return None, "no consolidated vector access (ADM format or consolidation disabled)"
+    if len(spec.unnests) > 1:
+        return None, "multiple UNNEST clauses"
+    unnest: Optional[BatchUnnestPlan] = None
+    if spec.unnests:
+        unnest_plan = access_plan.unnest_plans[0]
+        if not unnest_plan.pushed_down:
+            return None, "UNNEST without access pushdown"
+        unnest = BatchUnnestPlan(unnest_plan.clause.item_var,
+                                 dict(unnest_plan.pushdown_paths))
+
+    ctx = _Context(spec.record_var, set(access_plan.scan_paths),
+                   item_var=unnest.item_var if unnest is not None else None,
+                   item_paths=frozenset(unnest.pushdown_paths) if unnest is not None
+                   else frozenset())
+    try:
+        lets: List[Tuple[str, ColumnEval]] = []
+        for clause in spec.lets:
+            lets.append((clause.name, compile_expr(clause.expr, ctx)))
+            ctx.let_names.add(clause.name)
+        where = compile_expr(spec.where, ctx) if spec.where is not None else None
+        group_keys = [(name, compile_expr(expr, ctx)) for name, expr in spec.group_keys]
+        aggregate_args = [compile_expr(aggregate.argument, ctx)
+                          if aggregate.argument is not None else None
+                          for aggregate in spec.aggregates]
+        projections: List[Tuple[str, ColumnEval]] = []
+        order_keys: List[ColumnEval] = []
+        if not spec.is_aggregation:
+            projections = [(name, compile_expr(expr, ctx))
+                           for name, expr in spec.projections]
+            for key in spec.order_by:
+                if not isinstance(key.expr_or_column, Expr):
+                    # The row pipeline raises QueryError for this shape; fall
+                    # back so the error surfaces from the same place.
+                    raise BatchUnsupported("ORDER BY column name in a non-grouped query")
+                order_keys.append(compile_expr(key.expr_or_column, ctx))
+    except BatchUnsupported as exc:
+        return None, str(exc)
+
+    scan_paths = sorted(ctx.record_paths,
+                        key=lambda path: (len(path), tuple(map(str, path))))
+    return BatchQueryPlan(
+        record_var=spec.record_var,
+        scan_paths=scan_paths,
+        extractor=BatchExtractor(scan_paths),
+        lets=lets,
+        unnest=unnest,
+        where=where,
+        group_keys=group_keys,
+        aggregate_args=aggregate_args,
+        projections=projections,
+        order_keys=order_keys,
+    ), None

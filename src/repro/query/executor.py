@@ -39,15 +39,23 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from enum import Enum
 from threading import Lock
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.dataset import Dataset
 from ..errors import QueryError
 from ..obs import CARDINALITY_MISESTIMATE, NULL_SPAN, StatsDictMixin, emit_event
 from ..obs import tracer as _tracer
+from .batch_compile import BatchQueryPlan
 from .expressions import is_absent
 from .operators import (
+    BatchGroupByOperator,
+    BatchLetOperator,
+    BatchProjectOperator,
+    BatchScanOperator,
+    BatchSelectOperator,
+    BatchUnnestOperator,
     IndexProbeOperator,
     LetOperator,
     PartialGroupByOperator,
@@ -55,6 +63,7 @@ from .operators import (
     ScanOperator,
     SelectOperator,
     UnnestOperator,
+    _orderable,
     finalize_groups,
     merge_partials,
     order_and_limit,
@@ -66,6 +75,31 @@ from .plan import QuerySpec
 #: ``parallelism=`` argument always wins).  CI runs the suite once with
 #: ``REPRO_PARALLELISM=1`` to keep the sequential path covered.
 PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
+
+#: Environment variable overriding the default execution mode ("batch" or
+#: "row"); an explicit ``execution_mode=`` argument always wins.
+EXECUTION_MODE_ENV_VAR = "REPRO_EXECUTION_MODE"
+
+#: Environment variable overriding the default batch size; ``0`` disables
+#: batch execution entirely, ``1`` stress-tests the chunking logic.
+BATCH_SIZE_ENV_VAR = "REPRO_BATCH_SIZE"
+
+#: Records per ColumnBatch when nothing overrides it.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class ExecutionMode(Enum):
+    """How partition pipelines evaluate the query.
+
+    ``BATCH`` (the default) runs the vectorized columnar pipeline whenever
+    the plan compiles for it and falls back to the row pipeline otherwise —
+    results are row-identical by construction, so the fallback is
+    transparent (the chosen mode and any fallback reason are recorded in
+    :class:`ExecutionStats`).  ``ROW`` forces the row-at-a-time pipeline.
+    """
+
+    ROW = "row"
+    BATCH = "batch"
 
 
 @dataclass
@@ -85,6 +119,9 @@ class OperatorStats(StatsDictMixin):
     #: Device bytes attributed to this operator (only the source operator
     #: reads pages; downstream operators show 0).
     bytes_read: int = 0
+    #: Column batches pulled through this stage (batch-mode runs only;
+    #: ``rows_out`` still counts rows, summed across batches).
+    batches: int = 0
     #: perf_counter stamps of the first/last pull (span synthesis).
     start: float = 0.0
     end: float = 0.0
@@ -120,6 +157,41 @@ class _OperatorProbe:
         return item
 
 
+class _BatchOperatorProbe:
+    """Probe for batch pipelines: items are row blocks, not single rows.
+
+    ``rows_out`` counts rows (``len()`` of each ColumnBatch / projected
+    block) so EXPLAIN ANALYZE actuals stay comparable across execution
+    modes; ``batches`` counts the pulls."""
+
+    __slots__ = ("_source", "stats")
+
+    def __init__(self, source: Iterator, name: str) -> None:
+        self._source = iter(source)
+        self.stats = OperatorStats(operator=name)
+
+    def __iter__(self) -> "_BatchOperatorProbe":
+        return self
+
+    def __next__(self):
+        stats = self.stats
+        started = time.perf_counter()
+        if stats.start == 0.0:
+            stats.start = started
+        try:
+            item = next(self._source)
+        except StopIteration:
+            stats.end = time.perf_counter()
+            stats.seconds += stats.end - started
+            raise
+        now = time.perf_counter()
+        stats.seconds += now - started
+        stats.end = now
+        stats.rows_out += len(item)
+        stats.batches += 1
+        return item
+
+
 @dataclass
 class PartitionStats(StatsDictMixin):
     """Measured cost of one partition's local pipeline."""
@@ -133,6 +205,8 @@ class PartitionStats(StatsDictMixin):
     #: True when the LIMIT cancellation token stopped (or skipped) this
     #: partition because earlier partitions already satisfied the limit.
     cancelled: bool = False
+    #: Column batches the partition's scan emitted (batch-mode runs only).
+    batches: int = 0
     #: Per-operator actuals, pipeline order (instrumented runs only).
     operators: List[OperatorStats] = field(default_factory=list)
     #: Buffer-cache activity of this partition's pipeline (instrumented
@@ -163,6 +237,15 @@ class ExecutionStats(StatsDictMixin):
     simulated_io_seconds: float = 0.0
     schema_broadcast_bytes: int = 0
     schema_broadcasts: int = 0
+    #: Pipeline the partitions actually ran: "batch" or "row".
+    execution_mode: str = "row"
+    #: Records per ColumnBatch (batch mode only).
+    batch_size: Optional[int] = None
+    #: Why a batch-mode request fell back to the row pipeline (None when
+    #: batch ran, or when row mode was requested explicitly).
+    fallback_reason: Optional[str] = None
+    #: Column batches scanned across all partitions (batch mode only).
+    batches_processed: int = 0
     per_partition: List[PartitionStats] = field(default_factory=list)
     #: Access path the optimizer chose: "FullScan" or "IndexProbe".
     access_path: str = "FullScan"
@@ -210,12 +293,14 @@ class ExecutionStats(StatsDictMixin):
                 if aggregate is None:
                     totals[op_stats.operator] = OperatorStats(
                         operator=op_stats.operator, rows_out=op_stats.rows_out,
-                        seconds=op_stats.seconds, bytes_read=op_stats.bytes_read)
+                        seconds=op_stats.seconds, bytes_read=op_stats.bytes_read,
+                        batches=op_stats.batches)
                     order.append(op_stats.operator)
                 else:
                     aggregate.rows_out += op_stats.rows_out
                     aggregate.seconds += op_stats.seconds
                     aggregate.bytes_read += op_stats.bytes_read
+                    aggregate.batches += op_stats.batches
         return [totals[name] for name in order]
 
     @property
@@ -316,7 +401,9 @@ class QueryExecutor:
                  cold_cache: bool = False,
                  access_path: str = "auto",
                  parallelism: Optional[int] = None,
-                 analyze: bool = False) -> None:
+                 analyze: bool = False,
+                 execution_mode: Optional[Union[ExecutionMode, str]] = None,
+                 batch_size: Optional[int] = None) -> None:
         self.optimizer = Optimizer(consolidate_field_access, pushdown_through_unnest)
         #: Drop buffer caches before running (used to make query benchmarks
         #: I/O-bound like the paper's cold runs).
@@ -333,6 +420,13 @@ class QueryExecutor:
         #: perf_counter call per row pulled, which the plain path must not
         #: pay.  Instrumentation also engages while tracing is enabled.
         self.analyze = analyze
+        #: Pipeline flavor: BATCH (vectorized, with transparent row
+        #: fallback) or ROW.  ``None`` defers to ``REPRO_EXECUTION_MODE``,
+        #: then to BATCH.
+        self.execution_mode = execution_mode
+        #: Records per ColumnBatch.  ``None`` defers to ``REPRO_BATCH_SIZE``,
+        #: then to ``DEFAULT_BATCH_SIZE``; ``0`` disables batch execution.
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------ public API
 
@@ -354,6 +448,19 @@ class QueryExecutor:
         if choice.uses_index:
             stats.index_name = choice.path.index_name
         stats.estimated_rows = choice.estimated_rows
+
+        mode = self._resolve_execution_mode()
+        batch_size = self._resolve_batch_size()
+        batch_plan: Optional[BatchQueryPlan] = None
+        if mode is ExecutionMode.BATCH:
+            if batch_size > 0:
+                batch_plan, fallback_reason = self.optimizer.plan_batch(spec, access_plan)
+                stats.fallback_reason = fallback_reason
+            else:
+                stats.fallback_reason = "batch size 0 disables batch execution"
+        stats.execution_mode = "batch" if batch_plan is not None else "row"
+        if batch_plan is not None:
+            stats.batch_size = batch_size
 
         if self.cold_cache:
             for environment in {id(env): env for env in dataset.environments}.values():
@@ -380,7 +487,8 @@ class QueryExecutor:
         if parallelism <= 1:
             for index, partition in enumerate(dataset.partitions):
                 outputs[index], partition_stats = self._run_partition(
-                    index, partition, spec, access_plan, choice, token, instrument)
+                    index, partition, spec, access_plan, choice, token, instrument,
+                    batch_plan, batch_size)
                 stats.per_partition.append(partition_stats)
         else:
             with ThreadPoolExecutor(max_workers=parallelism,
@@ -390,7 +498,7 @@ class QueryExecutor:
                 # time), and the no-op path returns the method unchanged.
                 futures = [pool.submit(_tracer.wrap_context(self._run_partition),
                                        index, partition, spec, access_plan, choice,
-                                       token, instrument)
+                                       token, instrument, batch_plan, batch_size)
                            for index, partition in enumerate(dataset.partitions)]
                 for index, future in enumerate(futures):
                     outputs[index], partition_stats = future.result()
@@ -408,6 +516,7 @@ class QueryExecutor:
             stats.bytes_read += partition_stats.bytes_read
             stats.bytes_written += partition_stats.bytes_written
             stats.simulated_io_seconds += partition_stats.simulated_io_seconds
+            stats.batches_processed += partition_stats.batches
 
         if instrument:
             for environment, before in zip(environments, caches_before):
@@ -455,6 +564,42 @@ class QueryExecutor:
         registry.counter("query_rows_returned").inc(stats.rows_returned)
         registry.counter("query_records_scanned").inc(stats.records_scanned)
         registry.histogram("query_wall_seconds").observe(stats.wall_seconds)
+        if stats.execution_mode == "batch":
+            registry.counter("query_batch_executions").inc()
+            registry.counter("query_batches_processed").inc(stats.batches_processed)
+        elif stats.fallback_reason is not None:
+            registry.counter("query_batch_fallbacks").inc()
+
+    def _resolve_execution_mode(self) -> ExecutionMode:
+        mode = self.execution_mode
+        if mode is None:
+            env_value = os.environ.get(EXECUTION_MODE_ENV_VAR, "").strip()
+            if not env_value:
+                return ExecutionMode.BATCH
+            mode = env_value
+        if isinstance(mode, ExecutionMode):
+            return mode
+        try:
+            return ExecutionMode(str(mode).lower())
+        except ValueError:
+            raise QueryError(
+                f"unknown execution mode {mode!r}; use "
+                f"{' or '.join(member.value for member in ExecutionMode)}")
+
+    def _resolve_batch_size(self) -> int:
+        size = self.batch_size
+        if size is None:
+            env_value = os.environ.get(BATCH_SIZE_ENV_VAR, "").strip()
+            if not env_value:
+                return DEFAULT_BATCH_SIZE
+            try:
+                size = int(env_value)
+            except ValueError:
+                raise QueryError(
+                    f"{BATCH_SIZE_ENV_VAR} must be an integer, got {env_value!r}")
+        if size < 0:
+            raise QueryError(f"batch size must be >= 0, got {size}")
+        return size
 
     def _resolve_parallelism(self, dataset: Dataset) -> int:
         requested = self.parallelism
@@ -477,7 +622,9 @@ class QueryExecutor:
     def _run_partition(self, index: int, partition, spec: QuerySpec,
                        access_plan: AccessPlan, choice: AccessPathChoice,
                        token: Optional[LimitCancellation],
-                       instrument: bool = False):
+                       instrument: bool = False,
+                       batch_plan: Optional[BatchQueryPlan] = None,
+                       batch_size: int = 0):
         """One partition's full local pipeline (runs on a worker thread)."""
         partition_stats = PartitionStats(partition_id=partition.partition_id)
         partition_started = time.perf_counter()
@@ -490,11 +637,20 @@ class QueryExecutor:
         with _tracer.span("query.partition",
                           partition=partition.partition_id) as partition_span:
             with device.accounting_scope() as io_scope:
-                pipeline, scan, probes = self._local_pipeline(
-                    partition, spec, access_plan, choice, instrument)
+                if batch_plan is not None:
+                    pipeline, scan, probes = self._local_pipeline_batch(
+                        partition, spec, choice, batch_plan, batch_size, instrument)
+                else:
+                    pipeline, scan, probes = self._local_pipeline(
+                        partition, spec, access_plan, choice, instrument)
                 if spec.is_aggregation:
-                    grouping = PartialGroupByOperator(pipeline, spec.group_keys,
-                                                      spec.aggregates)
+                    if batch_plan is not None:
+                        grouping = BatchGroupByOperator(pipeline, batch_plan.group_keys,
+                                                        spec.aggregates,
+                                                        batch_plan.aggregate_args)
+                    else:
+                        grouping = PartialGroupByOperator(pipeline, spec.group_keys,
+                                                          spec.aggregates)
                     stage_started = time.perf_counter()
                     partial = grouping.run()
                     output = ("partial", partial)
@@ -503,7 +659,10 @@ class QueryExecutor:
                                                       len(partial), stage_started))
                 elif spec.order_by:
                     stage_started = time.perf_counter()
-                    candidates = self._collect_ordered(pipeline, spec)
+                    if batch_plan is not None:
+                        candidates = self._collect_ordered_batch(pipeline, batch_plan, spec)
+                    else:
+                        candidates = self._collect_ordered(pipeline, spec)
                     output = ("ordered", candidates)
                     if instrument:
                         probes.append(_terminal_stats("SORT+PROJECT",
@@ -511,7 +670,11 @@ class QueryExecutor:
                 else:
                     abort_check = (lambda: token.satisfied_before(index)) if token else None
                     stage_started = time.perf_counter()
-                    rows, aborted = self._collect_plain(pipeline, spec, abort_check)
+                    if batch_plan is not None:
+                        rows, aborted = self._collect_plain_batch(pipeline, batch_plan,
+                                                                  spec, abort_check)
+                    else:
+                        rows, aborted = self._collect_plain(pipeline, spec, abort_check)
                     partition_stats.cancelled = aborted
                     if token is not None and not aborted:
                         token.mark_complete(index, len(rows))
@@ -521,6 +684,8 @@ class QueryExecutor:
             partition_span.set_attribute("rows_scanned", scan.records_scanned)
         partition_stats.seconds = time.perf_counter() - partition_started
         partition_stats.records_scanned = scan.records_scanned
+        if batch_plan is not None:
+            partition_stats.batches = scan.batches_emitted
         partition_stats.bytes_read = io_scope.bytes_read
         partition_stats.bytes_written = io_scope.bytes_written
         partition_stats.simulated_io_seconds = device.simulated_seconds(io_scope)
@@ -529,7 +694,9 @@ class QueryExecutor:
             # downstream operators only touch decoded rows.
             probes[0].stats.bytes_read = io_scope.bytes_read
             for probe in probes:
-                op_stats = probe.stats if isinstance(probe, _OperatorProbe) else probe
+                op_stats = (probe.stats
+                            if isinstance(probe, (_OperatorProbe, _BatchOperatorProbe))
+                            else probe)
                 partition_stats.operators.append(op_stats)
                 self._synthesize_operator_span(op_stats, partition_span)
         return output, partition_stats
@@ -581,6 +748,42 @@ class QueryExecutor:
             pipeline = tap(iter(SelectOperator(pipeline, spec.where)), "SELECT")
         return pipeline, scan, probes
 
+    def _local_pipeline_batch(self, partition, spec: QuerySpec,
+                              choice: AccessPathChoice, batch_plan: BatchQueryPlan,
+                              batch_size: int, instrument: bool = False):
+        """Batch counterpart of :meth:`_local_pipeline`: same stage names,
+        ColumnBatch iterators instead of environment iterators."""
+        probes: List[_BatchOperatorProbe] = []
+
+        def tap(source: Iterator, name: str) -> Iterator:
+            if not instrument:
+                return source
+            probe = _BatchOperatorProbe(source, name)
+            probes.append(probe)
+            return probe
+
+        if spec.limit is not None and not spec.is_aggregation and not spec.order_by:
+            # Plain LIMIT stops the row scan after `limit` records; chunking
+            # by at most `limit` keeps the batch scan equally lazy (it may
+            # overshoot by less than one batch when a WHERE filters rows).
+            batch_size = min(batch_size, spec.limit)
+        probe = choice.path if choice.uses_index else None
+        scan = BatchScanOperator(partition, spec.record_var, batch_plan.scan_paths,
+                                 batch_size, batch_plan.extractor, probe=probe)
+        scan_name = (f"IndexProbe({choice.path.index_name})" if choice.uses_index
+                     else "FullScan")
+        pipeline: Iterator = tap(iter(scan), scan_name)
+        if batch_plan.lets:
+            pipeline = tap(iter(BatchLetOperator(pipeline, batch_plan.lets)), "LET")
+        if batch_plan.unnest is not None:
+            unnest = BatchUnnestOperator(pipeline, spec.record_var,
+                                         batch_plan.unnest.item_var,
+                                         batch_plan.unnest.pushdown_paths)
+            pipeline = tap(iter(unnest), "UNNEST")
+        if batch_plan.where is not None:
+            pipeline = tap(iter(BatchSelectOperator(pipeline, batch_plan.where)), "SELECT")
+        return pipeline, scan, probes
+
     def _collect_plain(self, pipeline: Iterator, spec: QuerySpec,
                        abort_check=None) -> Tuple[List[Dict[str, Any]], bool]:
         """Project rows up to the limit; abort when the token says the
@@ -620,6 +823,44 @@ class QueryExecutor:
             # row beyond this partition's local top-`limit` can never reach
             # the global answer, so only `limit` candidates cross the
             # exchange and the coordinator sorts parallelism*limit rows.
+            candidates = _sort_candidates(candidates, spec.order_by)[:spec.limit]
+        return candidates
+
+    def _collect_plain_batch(self, pipeline: Iterator, batch_plan: BatchQueryPlan,
+                             spec: QuerySpec,
+                             abort_check=None) -> Tuple[List[Dict[str, Any]], bool]:
+        """Batch counterpart of :meth:`_collect_plain` (abort checked per batch)."""
+        rows: List[Dict[str, Any]] = []
+        for block in BatchProjectOperator(pipeline, batch_plan.projections):
+            rows.extend(block)
+            if spec.limit is not None and len(rows) >= spec.limit:
+                return rows[:spec.limit], False
+            if abort_check is not None and abort_check():
+                return rows, True
+        return rows, False
+
+    def _collect_ordered_batch(self, pipeline: Iterator, batch_plan: BatchQueryPlan,
+                               spec: QuerySpec):
+        """Batch counterpart of :meth:`_collect_ordered`: identical
+        ``(sort_key, row)`` candidates, sort keys evaluated columnwise."""
+        candidates = []
+        for batch in pipeline:
+            key_columns = [evaluate(batch) for evaluate in batch_plan.order_keys]
+            projection_columns = [(name, evaluate(batch))
+                                  for name, evaluate in batch_plan.projections]
+            for index in range(len(batch)):
+                sort_key = []
+                for column in key_columns:
+                    value = column[index]
+                    sort_key.append((is_absent(value), _orderable(value)))
+                row = {}
+                for name, column in projection_columns:
+                    value = column[index]
+                    if hasattr(value, "materialize"):
+                        value = value.materialize()
+                    row[name] = value
+                candidates.append((tuple(sort_key), row))
+        if spec.limit is not None and len(candidates) > spec.limit:
             candidates = _sort_candidates(candidates, spec.order_by)[:spec.limit]
         return candidates
 
@@ -690,11 +931,3 @@ def _sort_candidates(candidates: List[Tuple[Tuple[Any, ...], Dict[str, Any]]],
                             key=lambda pair, p=position: pair[0][p],
                             reverse=order_by[position].descending)
     return candidates
-
-
-def _orderable(value: Any) -> Any:
-    if is_absent(value):
-        return 0
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return value
-    return str(value)

@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..types import AMultiset, MISSING, Missing
+from ..vector.batch import ColumnBatch
 from .aggregates import get_aggregate
-from .expressions import EXTRACTED, Expr, is_absent
+from .expressions import EXTRACTED, Expr, access_path, is_absent
 from .optimizer import AccessPlan, UnnestAccessPlan
 from .plan import AggregateSpec, IndexProbe, LetClause, QuerySpec
 
@@ -131,12 +132,30 @@ class UnnestOperator:
         extracted = env.get(EXTRACTED, {})
         columns: Dict[Tuple[Any, ...], List[Any]] = {}
         length = 0
+        collection_value: Any = None
+        collection_is_scalar = False
         for item_path, full_path in self.plan.pushdown_paths.items():
             values = extracted.get((self.record_var, full_path), [])
             if not isinstance(values, list):
-                values = []
+                # Extraction passes a non-collection value at the wildcard
+                # prefix through unchanged; SQL++ unnests such a value as a
+                # singleton collection, so emit the same one row the
+                # non-pushdown path would instead of dropping the record.
+                collection_is_scalar = True
+                collection_value = values
+                continue
             columns[item_path] = values
             length = max(length, len(values))
+        if collection_is_scalar and length == 0:
+            for item in self._items(collection_value):
+                item_env = dict(env)
+                item_extracted = dict(extracted)
+                for item_path in self.plan.pushdown_paths:
+                    item_extracted[(clause.item_var, item_path)] = access_path(item, item_path)
+                item_env[EXTRACTED] = item_extracted
+                item_env[clause.item_var] = MISSING
+                yield item_env
+            return
         for index in range(length):
             item_env = dict(env)
             item_extracted = dict(extracted)
@@ -245,7 +264,7 @@ def finalize_groups(groups: Dict[Tuple[Any, ...], List[Any]], spec: QuerySpec) -
     for key, states in groups.items():
         row: Dict[str, Any] = {}
         for (name, _), part in zip(spec.group_keys, key):
-            row[name] = part
+            row[name] = part.original if isinstance(part, _HashableKey) else part
         for aggregate, function, state in zip(spec.aggregates, functions, states):
             row[aggregate.output] = function.finalize(state)
         rows.append(row)
@@ -274,19 +293,299 @@ def order_and_limit(rows: List[Dict[str, Any]], spec: QuerySpec) -> List[Dict[st
     return ordered
 
 
+class _HashableKey:
+    """Hashable stand-in for an unhashable (list/dict/multiset) group-key part.
+
+    Hashing and equality use the converted tuple form so grouping still
+    merges identical keys across partitions, while the first-seen original
+    value is preserved for :func:`finalize_groups` — GROUP BY on a list- or
+    object-valued key returns the original lists/dicts, not tuples.
+    """
+
+    __slots__ = ("original", "_converted")
+
+    def __init__(self, original: Any, converted: Any) -> None:
+        self.original = original
+        self._converted = converted
+
+    def __hash__(self) -> int:
+        return hash(self._converted)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _HashableKey):
+            return self._converted == other._converted
+        return self._converted == other
+
+    def __repr__(self) -> str:
+        return f"_HashableKey({self.original!r})"
+
+
 def _hashable(value: Any) -> Any:
+    converted = _converted(value)
+    if converted is value:
+        return value
+    return _HashableKey(value, converted)
+
+
+def _converted(value: Any) -> Any:
     if isinstance(value, list):
-        return tuple(_hashable(item) for item in value)
+        return tuple(_converted(item) for item in value)
     if isinstance(value, dict):
-        return tuple(sorted((key, _hashable(item)) for key, item in value.items()))
+        return tuple(sorted((key, _converted(item)) for key, item in value.items()))
     if isinstance(value, AMultiset):
         return tuple(sorted((repr(item) for item in value.items)))
     return value
 
 
-def _orderable(value: Any) -> Any:
+#: Type ranks for ORDER BY over mixed-type columns: absent values first,
+#: then booleans, numbers, strings, everything else by textual form.
+_RANK_ABSENT = -1
+_RANK_BOOL = 0
+_RANK_NUMBER = 1
+_RANK_STRING = 2
+_RANK_OTHER = 3
+
+
+def _orderable(value: Any) -> Tuple[int, Any]:
+    """Total-order sort key for one ORDER BY value.
+
+    Open schemas make mixed-type columns routine (an int in one record, a
+    string in another), and raw comparisons across types raise ``TypeError``.
+    Ranking by type first, value within the type second, gives every pair of
+    values a defined order.
+    """
     if is_absent(value):
-        return 0
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return value
-    return str(value)
+        return (_RANK_ABSENT, 0)
+    if isinstance(value, bool):
+        return (_RANK_BOOL, value)
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMBER, value)
+    if isinstance(value, str):
+        return (_RANK_STRING, value)
+    return (_RANK_OTHER, str(value))
+
+
+# ---------------------------------------------------------------------------
+# batch (columnar) operators
+# ---------------------------------------------------------------------------
+#
+# Batch counterparts of the row operators above: each pipeline stage is an
+# iterator of ColumnBatch objects instead of an iterator of environments.
+# The scan decodes all requested column slices for a whole batch of records
+# in one extractor pass per record, and the downstream stages evaluate the
+# query's *compiled* expressions (see batch_compile) over column lists —
+# untouched fields are never materialized.
+
+
+class BatchScanOperator:
+    """Batched data source: chunks a partition's record views into ColumnBatches.
+
+    Also serves as the batched index-probe source when ``probe`` is given
+    (candidate views instead of a full scan — the residual predicate is
+    re-applied by the batch SELECT downstream, exactly like the row path).
+    """
+
+    def __init__(self, partition, record_var: str, scan_paths: Sequence[Tuple[Any, ...]],
+                 batch_size: int, extractor=None, probe: Optional[IndexProbe] = None) -> None:
+        self.partition = partition
+        self.record_var = record_var
+        self.scan_paths = list(scan_paths)
+        self.batch_size = max(1, batch_size)
+        self.extractor = extractor
+        self.probe = probe
+        self.records_scanned = 0
+        self.batches_emitted = 0
+
+    def _views(self):
+        if self.probe is not None:
+            probe = self.probe
+            return self.partition.probe_views(probe.index_name, probe.low, probe.high,
+                                              probe.low_inclusive, probe.high_inclusive)
+        return self.partition.scan_views()
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        buffer: List[Any] = []
+        for view in self._views():
+            self.records_scanned += 1
+            buffer.append(view)
+            if len(buffer) >= self.batch_size:
+                yield self._emit(buffer)
+                buffer = []
+        if buffer:
+            yield self._emit(buffer)
+
+    def _emit(self, views: List[Any]) -> ColumnBatch:
+        self.batches_emitted += 1
+        return ColumnBatch.from_views(views, self.record_var, self.scan_paths,
+                                      self.extractor)
+
+
+class BatchLetOperator:
+    """LET clauses as computed columns, keyed ``(name, ())`` like a whole var."""
+
+    def __init__(self, child: Iterator[ColumnBatch],
+                 lets: Sequence[Tuple[str, Any]]) -> None:
+        self.child = child
+        self.lets = lets
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        for batch in self.child:
+            for name, evaluate in self.lets:
+                batch.columns[(name, ())] = evaluate(batch)
+            yield batch
+
+
+class BatchUnnestOperator:
+    """Flatten a pushed-down UNNEST: replicate rows, add item columns.
+
+    Mirrors ``UnnestOperator._iterate_pushed_down`` row by row: aligned list
+    values fan out one output row per item (MISSING-padded when a column is
+    short), and a non-list value at the wildcard prefix unnests as a SQL++
+    singleton collection.
+    """
+
+    def __init__(self, child: Iterator[ColumnBatch], record_var: str, item_var: str,
+                 pushdown_paths: Dict[Tuple[Any, ...], Tuple[Any, ...]]) -> None:
+        self.child = child
+        self.record_var = record_var
+        self.item_var = item_var
+        self.pushdown_paths = pushdown_paths
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        for batch in self.child:
+            flattened = self._flatten(batch)
+            if flattened.length:
+                yield flattened
+
+    def _flatten(self, batch: ColumnBatch) -> ColumnBatch:
+        full_columns = {item_path: batch.columns[(self.record_var, full_path)]
+                        for item_path, full_path in self.pushdown_paths.items()}
+        indices: List[int] = []
+        item_columns: Dict[Tuple[Any, ...], List[Any]] = {
+            item_path: [] for item_path in self.pushdown_paths}
+        for row in range(batch.length):
+            row_values = {item_path: column[row]
+                          for item_path, column in full_columns.items()}
+            length = 0
+            scalar: Any = None
+            has_scalar = False
+            for value in row_values.values():
+                if isinstance(value, list):
+                    length = max(length, len(value))
+                else:
+                    has_scalar = True
+                    scalar = value
+            if has_scalar and length == 0:
+                for item in UnnestOperator._items(scalar):
+                    indices.append(row)
+                    for item_path, column in item_columns.items():
+                        column.append(access_path(item, item_path))
+                continue
+            for index in range(length):
+                indices.append(row)
+                for item_path, column in item_columns.items():
+                    values = row_values[item_path]
+                    column.append(values[index]
+                                  if isinstance(values, list) and index < len(values)
+                                  else MISSING)
+        flattened = batch.take(indices)
+        for item_path, column in item_columns.items():
+            flattened.columns[(self.item_var, item_path)] = column
+        return flattened
+
+
+class BatchSelectOperator:
+    """WHERE filter over a predicate column."""
+
+    def __init__(self, child: Iterator[ColumnBatch], predicate) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        for batch in self.child:
+            column = self.predicate(batch)
+            indices = [row for row, value in enumerate(column)
+                       if not is_absent(value) and value]
+            if len(indices) == batch.length:
+                yield batch
+            elif indices:
+                yield batch.take(indices)
+
+
+class BatchProjectOperator:
+    """SELECT projections, one list of output rows per input batch."""
+
+    def __init__(self, child: Iterator[ColumnBatch],
+                 projections: Sequence[Tuple[str, Any]]) -> None:
+        self.child = child
+        self.projections = projections
+
+    def __iter__(self) -> Iterator[List[Dict[str, Any]]]:
+        for batch in self.child:
+            columns = [(name, evaluate(batch)) for name, evaluate in self.projections]
+            block = []
+            for row in range(batch.length):
+                out: Dict[str, Any] = {}
+                for name, column in columns:
+                    value = column[row]
+                    if hasattr(value, "materialize"):
+                        value = value.materialize()
+                    out[name] = value
+                block.append(out)
+            yield block
+
+
+class BatchGroupByOperator:
+    """Per-partition hash aggregation over column batches.
+
+    Produces the same mergeable ``{key tuple: [states]}`` structure as
+    :class:`PartialGroupByOperator` — the coordinator's merge_partials /
+    finalize_groups path is shared between execution modes.
+    """
+
+    def __init__(self, child: Iterator[ColumnBatch],
+                 group_keys: Sequence[Tuple[str, Any]],
+                 aggregates: Sequence[AggregateSpec],
+                 argument_evals: Sequence[Optional[Any]]) -> None:
+        self.child = child
+        self.group_keys = group_keys
+        self.aggregates = aggregates
+        self.argument_evals = argument_evals
+
+    def run(self) -> Dict[Tuple[Any, ...], List[Any]]:
+        functions = [get_aggregate(spec.function) for spec in self.aggregates]
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        for batch in self.child:
+            key_columns = [evaluate(batch) for _, evaluate in self.group_keys]
+            argument_columns = [evaluate(batch) if evaluate is not None else None
+                                for evaluate in self.argument_evals]
+            if not key_columns:
+                states = groups.get(())
+                if states is None:
+                    states = [function.create() for function in functions]
+                    groups[()] = states
+                for index, function in enumerate(functions):
+                    column = argument_columns[index]
+                    if column is None:
+                        # COUNT(*): n accumulates of True fold to merge(state, n).
+                        states[index] = function.merge(states[index], batch.length)
+                        continue
+                    state = states[index]
+                    for value in column:
+                        state = function.accumulate(state, value)
+                    states[index] = state
+                continue
+            for row in range(batch.length):
+                key = tuple(column[row] for column in key_columns)
+                if any(isinstance(part, Missing) for part in key):
+                    continue
+                key = tuple(_hashable(part) for part in key)
+                states = groups.get(key)
+                if states is None:
+                    states = [function.create() for function in functions]
+                    groups[key] = states
+                for index, function in enumerate(functions):
+                    column = argument_columns[index]
+                    value = column[row] if column is not None else True
+                    states[index] = function.accumulate(states[index], value)
+        return groups

@@ -129,6 +129,16 @@ class Optimizer:
             rewritten_spec=rewritten if rewritten is not spec else None,
         )
 
+    def plan_batch(self, spec: QuerySpec, access_plan: AccessPlan):
+        """Compile the query for batch (columnar) execution when possible.
+
+        Returns ``(BatchQueryPlan, None)`` or ``(None, fallback_reason)``;
+        ``spec`` must be the access plan's effective spec.
+        """
+        from .batch_compile import plan_batch
+
+        return plan_batch(spec, access_plan)
+
     # ------------------------------------------------------------------ helpers
 
     @staticmethod

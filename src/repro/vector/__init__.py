@@ -2,12 +2,16 @@
 
 from .encoder import VectorEncoder, is_compacted, record_total_length
 from .decoder import VectorRecordView, WILDCARD
+from .batch import BatchExtractor, ColumnBatch, get_values_batch
 from .compaction import compact_record, compaction_savings, expand_record
 
 __all__ = [
     "VectorEncoder",
     "VectorRecordView",
     "WILDCARD",
+    "BatchExtractor",
+    "ColumnBatch",
+    "get_values_batch",
     "is_compacted",
     "record_total_length",
     "compact_record",

@@ -141,49 +141,117 @@ class VectorRecordView:
         Each path is a sequence of field names, collection indexes, and the
         ``"*"`` wildcard which matches every item of a collection.  Paths
         without a wildcard resolve to a single value (``MISSING`` when
-        absent); wildcard paths resolve to a list of every matching value.
-        The scan stops as soon as every non-wildcard path has been resolved
-        and no wildcard path remains open, so access cost grows with the
-        position of the requested values within the record (Figure 22).
+        absent).
+
+        A path with a single wildcard resolves *aligned*: one entry per
+        collection item, ``MISSING`` for items where the sub-path does not
+        resolve, so the result has the collection's cardinality regardless of
+        per-item heterogeneity (matching :class:`DictRecordView`).  When the
+        wildcard's prefix resolves to a non-collection value (a scalar or an
+        object), that value itself is returned instead of a list, so callers
+        can apply SQL++'s singleton-collection semantics; an absent or empty
+        collection yields ``[]``.  Paths with several wildcards keep the
+        legacy flattened present-values-only semantics.
+
+        The scan stops as soon as every exact path has been resolved and
+        every wildcard collection has been closed, so access cost grows with
+        the position of the requested values within the record (Figure 22).
         """
         requests = [tuple(path) for path in paths]
         results: List[Any] = [MISSING] * len(requests)
-        wildcard_flags = [any(step == WILDCARD for step in request) for request in requests]
-        for index, has_wildcard in enumerate(wildcard_flags):
-            if has_wildcard:
+        single_wild: Dict[int, int] = {}   # request index -> wildcard position
+        multi_wild: List[int] = []
+        for index, request in enumerate(requests):
+            positions = [at for at, step in enumerate(request) if step == WILDCARD]
+            if len(positions) == 1:
+                single_wild[index] = positions[0]
                 results[index] = []
-        pending_exact = sum(1 for flag in wildcard_flags if not flag)
-        capture: Dict[int, _Capture] = {}
+            elif positions:
+                multi_wild.append(index)
+                results[index] = []
+        pending_exact = len(requests) - len(single_wild) - len(multi_wild)
+        open_wild = dict(single_wild)      # still-unresolved single-wildcard requests
+        wild_matches: Dict[int, Dict[int, Any]] = {index: {} for index in single_wild}
+        wild_counts: Dict[int, int] = {index: 0 for index in single_wild}
+        # Capture keys: request index (exact paths), (index, item_index)
+        # (wildcard item subtrees), or (index, None) (object at a wildcard
+        # prefix, captured whole for singleton semantics).
+        capture: Dict[Any, _Capture] = {}
+
+        def finish_aligned(index: int) -> None:
+            open_wild.pop(index)
+            matches = wild_matches[index]
+            results[index] = [matches.get(item, MISSING)
+                              for item in range(wild_counts[index])]
 
         for event in self._walk():
             # feed open captures first (they consume the whole subtree)
-            finished = []
-            for request_index, cap in capture.items():
-                done = cap.feed(event)
-                if done:
-                    finished.append(request_index)
-            for request_index in finished:
-                cap = capture.pop(request_index)
-                self._store_result(results, wildcard_flags, request_index, cap.result())
-                if not wildcard_flags[request_index]:
-                    pending_exact -= 1
-
-            if event.kind == _WalkEvent.SCALAR:
-                for request_index, request in enumerate(requests):
-                    if request_index in capture:
-                        continue
-                    if self._path_matches(request, event.path):
-                        self._store_result(results, wildcard_flags, request_index, event.value)
-                        if not wildcard_flags[request_index]:
+            if capture:
+                finished = [key for key, cap in capture.items() if cap.feed(event)]
+                for key in finished:
+                    cap = capture.pop(key)
+                    if isinstance(key, int):
+                        if key in multi_wild:
+                            results[key].append(cap.result())
+                        else:
+                            results[key] = cap.result()
                             pending_exact -= 1
-            elif event.kind == _WalkEvent.ENTER:
-                for request_index, request in enumerate(requests):
-                    if request_index in capture:
-                        continue
-                    if self._path_matches(request, event.path):
-                        capture[request_index] = _Capture(event)
+                    else:
+                        index, slot = key
+                        if slot is None:
+                            open_wild.pop(index, None)
+                            results[index] = cap.result()
+                        else:
+                            wild_matches[index][slot] = cap.result()
 
-            if pending_exact == 0 and not any(wildcard_flags) and not capture:
+            path = event.path
+            depth = len(path)
+            if event.kind == _WalkEvent.EXIT:
+                for index in [i for i, at in open_wild.items()
+                              if depth == at and path == requests[i][:at]]:
+                    finish_aligned(index)
+            else:
+                for index, at in list(open_wild.items()):
+                    if (index, None) in capture:
+                        continue
+                    request = requests[index]
+                    if depth == at and path == request[:at]:
+                        # the wildcard's prefix itself: a scalar or an object
+                        # means a non-collection "collection" — pass it
+                        # through for singleton semantics.
+                        if event.kind == _WalkEvent.SCALAR:
+                            open_wild.pop(index)
+                            results[index] = event.value
+                        elif event.tag is TypeTag.OBJECT:
+                            capture[(index, None)] = _Capture(event)
+                        continue
+                    if (depth == at + 1 and isinstance(path[at], int)
+                            and path[:at] == request[:at]):
+                        wild_counts[index] += 1
+                    if self._path_matches(request, path):
+                        if event.kind == _WalkEvent.SCALAR:
+                            wild_matches[index][path[at]] = event.value
+                        else:
+                            capture[(index, path[at])] = _Capture(event)
+                for index in multi_wild:
+                    if index in capture:
+                        continue
+                    if self._path_matches(requests[index], path):
+                        if event.kind == _WalkEvent.SCALAR:
+                            results[index].append(event.value)
+                        else:
+                            capture[index] = _Capture(event)
+                for index, request in enumerate(requests):
+                    if index in single_wild or index in multi_wild or index in capture:
+                        continue
+                    if self._path_matches(request, path):
+                        if event.kind == _WalkEvent.SCALAR:
+                            results[index] = event.value
+                            pending_exact -= 1
+                        else:
+                            capture[index] = _Capture(event)
+
+            if pending_exact == 0 and not open_wild and not multi_wild and not capture:
                 break
         return results
 
@@ -213,14 +281,6 @@ class VectorRecordView:
             elif wanted != actual:
                 return False
         return True
-
-    @staticmethod
-    def _store_result(results: List[Any], wildcard_flags: List[bool],
-                      request_index: int, value: Any) -> None:
-        if wildcard_flags[request_index]:
-            results[request_index].append(value)
-        else:
-            results[request_index] = value
 
     # -- the linear walk -----------------------------------------------------------
 

@@ -109,11 +109,26 @@ class TestGetValues:
         assert view.get_field("dependents", 2) == "Not_Available"
         assert view.get_field("salaries", 0) is MISSING
 
-    def test_wildcard_access(self):
+    def test_wildcard_access_is_aligned(self):
+        # One entry per collection item: the scalar "Not_Available" dependent
+        # has no .name, so it contributes a MISSING hole rather than silently
+        # shrinking the result (keeps wildcard extraction aligned with the
+        # collection's cardinality, as DictRecordView already does).
         datatype = _datatype()
         view = VectorRecordView(VectorEncoder(datatype).encode(APPENDIX_RECORD), datatype)
         (names,) = view.get_values(("dependents", "*", "name"))
-        assert names == ["Bob", "Carol"]
+        assert names == ["Bob", "Carol", MISSING]
+
+    def test_wildcard_over_scalar_collection_passes_value_through(self):
+        # A non-collection value at the wildcard prefix is returned as-is so
+        # callers can apply SQL++ singleton-collection semantics; absent
+        # prefixes stay [].
+        datatype = _datatype()
+        view = VectorRecordView(VectorEncoder(datatype).encode(PAPER_RECORD), datatype)
+        (name_items,) = view.get_values(("name", "*"))
+        assert name_items == "Ann"
+        (missing_items,) = view.get_values(("nope", "*"))
+        assert missing_items == []
 
     def test_wildcard_collects_items(self):
         datatype = _datatype()
