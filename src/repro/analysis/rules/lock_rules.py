@@ -1,0 +1,395 @@
+"""Lock-discipline rules: LOCK001, LOCK002, LOCK003.
+
+* **LOCK001** — no blocking calls while holding a lock.  A ``with
+  self._lock:`` body must not sleep, touch files or the simulated device,
+  or wait on futures/threads; locks declared ``allows_blocking=True`` in
+  the hierarchy are exempt (and that exemption is itself reviewed, because
+  it lives in one table).
+* **LOCK002** — every lock attribute is declared in
+  :mod:`repro.analysis.lock_hierarchy` and statically visible nested
+  acquisitions descend the hierarchy.  Also enforces that locks are
+  created as ``threading.Lock()`` (not a bare ``Lock()`` from a
+  ``from threading import Lock``) so creations are recognizable, and that
+  ``threading.Condition()`` is never called without an explicit lock —
+  the no-arg form manufactures an internal RLock the dynamic tracker
+  cannot see.
+* **LOCK003** — fields annotated ``# guarded-by: <lock>`` in ``__init__``
+  must only be *written* inside methods that take that lock (or that are
+  marked ``# requires-lock: <lock>``, meaning every caller must hold it).
+  Reads are deliberately exempt: snapshot-read-outside-the-lock is an
+  established idiom in this engine.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..lint import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    SEVERITY_WARNING,
+    dotted_name,
+    iter_classes,
+    iter_methods,
+    self_attribute,
+)
+from ..lock_hierarchy import LOCK_HIERARCHY, LockDecl
+
+#: Attribute-name shapes treated as locks even when (erroneously) undeclared,
+#: so LOCK001 still applies while LOCK002 reports the missing declaration.
+_LOCKISH_ATTR = re.compile(r".*(_lock|_cond|_mutex)$")
+
+#: Calls that block: sleeping, file I/O, simulated-device I/O, futures.
+_BLOCKING_DOTTED = {"time.sleep"}
+_BLOCKING_METHODS = {"result", "read", "write", "flush", "readline", "readlines",
+                     "read_page", "write_page", "delete_file"}
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
+_REQUIRES_LOCK_RE = re.compile(r"#?\s*requires-lock:\s*(\w+)")
+
+#: Method names whose call on a guarded field counts as a mutation.
+_MUTATORS = {"append", "appendleft", "add", "remove", "discard", "pop",
+             "popleft", "popitem", "clear", "update", "extend", "insert",
+             "setdefault", "sort", "reverse"}
+
+
+def _function_bodies_excluded(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``node`` without descending into nested function/lambda bodies.
+
+    A blocking call inside a nested def only runs when the closure is later
+    invoked — usually after the lock is released — so it is not a violation
+    at this site.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _with_lock_attrs(node: ast.With, owner: str = "",
+                     hierarchy: Optional[Dict[str, LockDecl]] = None) -> List[Tuple[str, ast.expr]]:
+    """Lock ``self.<attr>`` context managers of one ``with`` statement.
+
+    An attribute counts as a lock when its name looks lockish
+    (``*_lock``/``*_cond``/``*_mutex``) or when ``Owner.attr`` is declared
+    in the hierarchy (covering declared locks with unconventional names).
+    """
+    attrs = []
+    for item in node.items:
+        attr = self_attribute(item.context_expr)
+        if attr is None:
+            continue
+        declared = hierarchy is not None and f"{owner}.{attr}" in hierarchy
+        if declared or _LOCKISH_ATTR.match(attr):
+            attrs.append((attr, item.context_expr))
+    return attrs
+
+
+def _is_blocking_call(node: ast.Call) -> Optional[str]:
+    """Describe why ``node`` blocks, or ``None`` when it does not."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open()"
+    dotted = dotted_name(func)
+    if dotted in _BLOCKING_DOTTED:
+        return f"{dotted}()"
+    if isinstance(func, ast.Attribute):
+        if func.attr == "join" and not node.args and not node.keywords:
+            # str.join always takes an iterable argument; a zero-argument
+            # .join() is a thread/process join and blocks.
+            return ".join()"
+        if func.attr in _BLOCKING_METHODS:
+            return f".{func.attr}()"
+    return None
+
+
+class BlockingUnderLockRule(Rule):
+    """LOCK001: no blocking calls inside a ``with self._lock:`` body."""
+
+    rule_id = "LOCK001"
+    description = ("no blocking calls (sleep, file/device I/O, .result(), "
+                   ".join()) while holding a lock")
+
+    def __init__(self, hierarchy: Optional[Dict[str, LockDecl]] = None) -> None:
+        self._hierarchy = LOCK_HIERARCHY if hierarchy is None else hierarchy
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for class_node in iter_classes(module.tree):
+            for node in ast.walk(class_node):
+                if not isinstance(node, ast.With):
+                    continue
+                for attr, _ in _with_lock_attrs(node, class_node.name, self._hierarchy):
+                    decl = self._hierarchy.get(f"{class_node.name}.{attr}")
+                    if decl is not None and decl.allows_blocking:
+                        continue
+                    findings.extend(self._scan_body(module, class_node.name, attr, node))
+        return findings
+
+    def _scan_body(self, module: Module, owner: str, attr: str,
+                   with_node: ast.With) -> Iterable[Finding]:
+        for body_stmt in with_node.body:
+            for node in _function_bodies_excluded(body_stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _is_blocking_call(node)
+                if reason is not None:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"blocking call {reason} while holding {owner}.{attr} "
+                        f"(declare allows_blocking in the lock hierarchy only "
+                        f"if holding across I/O is the lock's documented job)")
+
+
+class LockHierarchyRule(Rule):
+    """LOCK002: locks are declared, created visibly, and acquired in order."""
+
+    rule_id = "LOCK002"
+    description = ("every threading.Lock/RLock/Condition attribute declares a "
+                   "level in analysis/lock_hierarchy.py; nested acquisitions "
+                   "descend the hierarchy")
+
+    def __init__(self, hierarchy: Optional[Dict[str, LockDecl]] = None,
+                 check_stale: bool = True) -> None:
+        self._hierarchy = LOCK_HIERARCHY if hierarchy is None else hierarchy
+        self._check_stale = check_stale
+        self._creations: Set[str] = set()
+        self._scanned_modules: Set[str] = set()
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        self._scanned_modules.add(module.rel)
+        findings: List[Finding] = []
+        findings.extend(self._check_bare_imports(module))
+        for class_node in iter_classes(module.tree):
+            findings.extend(self._check_creations(module, class_node))
+            for method in iter_methods(class_node):
+                findings.extend(self._check_ordering(module, class_node.name, method))
+        return findings
+
+    # -- creation checks ---------------------------------------------------
+
+    def _check_bare_imports(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.ImportFrom) and node.module == "threading"):
+                bare = [alias.name for alias in node.names
+                        if alias.name in ("Lock", "RLock", "Condition")]
+                if bare:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"bare `from threading import {', '.join(bare)}` — use "
+                        f"`import threading` and `threading.{bare[0]}()` so lock "
+                        f"creations are statically recognizable")
+
+    def _check_creations(self, module: Module, class_node: ast.ClassDef) -> Iterable[Finding]:
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Assign):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            kind = self._lock_kind(call)
+            if kind is None:
+                continue
+            for target in node.targets:
+                attr = self_attribute(target)
+                if attr is None:
+                    continue
+                key = f"{class_node.name}.{attr}"
+                if kind == "condition":
+                    issue = self._check_condition_arg(call, class_node.name)
+                    if issue is not None:
+                        yield self.finding(module, node.lineno, issue)
+                        continue
+                    if issue is None and self._condition_aliases_declared_lock(call, class_node.name):
+                        # Condition(self.X) over an already-declared lock is
+                        # an alias, not a new lock: X's level covers it.
+                        continue
+                self._creations.add(key)
+                if key not in self._hierarchy:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"lock {key} ({kind}) is not declared in "
+                        f"analysis/lock_hierarchy.py — assign it a level")
+
+    @staticmethod
+    def _lock_kind(call: ast.Call) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted == "threading.Lock":
+            return "lock"
+        if dotted == "threading.RLock":
+            return "rlock"
+        if dotted == "threading.Condition":
+            return "condition"
+        return None
+
+    @staticmethod
+    def _check_condition_arg(call: ast.Call, owner: str) -> Optional[str]:
+        if not call.args:
+            return ("threading.Condition() without an explicit lock creates an "
+                    "internal RLock the dynamic tracker cannot see — pass "
+                    "threading.Lock() (or a declared lock attribute)")
+        return None
+
+    def _condition_aliases_declared_lock(self, call: ast.Call, owner: str) -> bool:
+        if not call.args:
+            return False
+        attr = self_attribute(call.args[0])
+        return attr is not None and f"{owner}.{attr}" in self._hierarchy
+
+    # -- ordering checks ---------------------------------------------------
+
+    def _check_ordering(self, module: Module, owner: str,
+                        method: ast.FunctionDef) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, held: Tuple[Tuple[str, int], ...]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return
+            if isinstance(node, ast.With):
+                acquired = list(held)
+                for attr, context in _with_lock_attrs(node, owner, self._hierarchy):
+                    key = f"{owner}.{attr}"
+                    decl = self._hierarchy.get(key)
+                    if decl is None:
+                        continue
+                    if acquired and decl.level >= acquired[-1][1]:
+                        held_key, held_level = acquired[-1]
+                        findings.append(self.finding(
+                            module, node.lineno,
+                            f"acquires {key} (level {decl.level}) while holding "
+                            f"{held_key} (level {held_level}) — lock levels must "
+                            f"strictly descend"))
+                    acquired.append((key, decl.level))
+                for child in node.body:
+                    visit(child, tuple(acquired))
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for statement in method.body:
+            visit(statement, ())
+        return findings
+
+    # -- stale declarations ------------------------------------------------
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        if not self._check_stale:
+            return
+        for decl in self._hierarchy.values():
+            in_scan = any(rel == decl.module or rel.endswith("/" + decl.module)
+                          for rel in self._scanned_modules)
+            if in_scan and decl.key not in self._creations:
+                yield self.finding(
+                    decl.module, 1,
+                    f"stale hierarchy entry: no `self.{decl.attr} = threading.*` "
+                    f"creation found for {decl.key} in {decl.module}")
+
+
+class GuardedByRule(Rule):
+    """LOCK003: ``# guarded-by:`` fields only mutated under their lock."""
+
+    rule_id = "LOCK003"
+    severity = SEVERITY_WARNING
+    description = ("fields annotated `# guarded-by: <lock>` must only be "
+                   "written by methods taking that lock (or marked "
+                   "`# requires-lock: <lock>`)")
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for class_node in iter_classes(module.tree):
+            guarded = self._guarded_fields(module, class_node)
+            if not guarded:
+                continue
+            for method in iter_methods(class_node):
+                if method.name == "__init__":
+                    continue
+                taken = self._locks_taken(method)
+                required = self._locks_required(module, method)
+                for node in ast.walk(method):
+                    field = self._mutated_field(node)
+                    if field is None or field not in guarded:
+                        continue
+                    lock_attr = guarded[field]
+                    if lock_attr in taken or lock_attr in required:
+                        continue
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"{class_node.name}.{field} is guarded-by {lock_attr} "
+                        f"but {method.name}() mutates it without taking the "
+                        f"lock (add `with self.{lock_attr}:` or mark the "
+                        f"method `# requires-lock: {lock_attr}`)"))
+        return findings
+
+    @staticmethod
+    def _guarded_fields(module: Module, class_node: ast.ClassDef) -> Dict[str, str]:
+        guarded: Dict[str, str] = {}
+        init = next((method for method in iter_methods(class_node)
+                     if method.name == "__init__"), None)
+        if init is None:
+            return guarded
+        for node in ast.walk(init):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                match = (_GUARDED_BY_RE.search(module.line_text(node.lineno))
+                         or _GUARDED_BY_RE.search(module.line_text(node.lineno - 1)))
+                if match is None:
+                    continue
+                for target in targets:
+                    attr = self_attribute(target)
+                    if attr is not None:
+                        guarded[attr] = match.group(1)
+        return guarded
+
+    @staticmethod
+    def _locks_taken(method: ast.FunctionDef) -> Set[str]:
+        taken: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.With):
+                for attr, _ in _with_lock_attrs(node):
+                    taken.add(attr)
+        return taken
+
+    @staticmethod
+    def _locks_required(module: Module, method: ast.FunctionDef) -> Set[str]:
+        required: Set[str] = set()
+        for line_no in (method.lineno, method.lineno - 1):
+            match = _REQUIRES_LOCK_RE.search(module.line_text(line_no))
+            if match:
+                required.add(match.group(1))
+        docstring = ast.get_docstring(method) or ""
+        for match in _REQUIRES_LOCK_RE.finditer(docstring):
+            required.add(match.group(1))
+        return required
+
+    @staticmethod
+    def _mutated_field(node: ast.AST) -> Optional[str]:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = self_attribute(target)
+                if attr is not None:
+                    return attr
+                if isinstance(target, ast.Subscript):
+                    attr = self_attribute(target.value)
+                    if attr is not None:
+                        return attr
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = self_attribute(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = self_attribute(target.value)
+                if attr is not None:
+                    return attr
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                attr = self_attribute(node.func.value)
+                if attr is not None:
+                    return attr
+        return None

@@ -1,0 +1,78 @@
+"""OBS001: metric naming convention and cross-module uniqueness.
+
+Metric identity in this engine is ``name{label=...}``: snake_case name,
+labels given as keyword arguments at the publish site
+(``registry.counter("lsm_flushes")``,
+``get_registry().counter("events_total", event=name)``).  The registry
+already raises at runtime when one name is reused with a different
+instrument type or label set — but only if both call sites actually
+execute in the same process.  This rule proves the invariant statically
+across the whole tree:
+
+* names must match ``[a-z][a-z0-9_]*`` (no dots, dashes, or CamelCase);
+* one name must map to exactly one instrument kind (counter/gauge/
+  histogram) and one label set, across every module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from ..lint import Finding, Module, Project, Rule
+
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_INSTRUMENT_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricNameRule(Rule):
+    """OBS001: metric names are well-formed and globally unique."""
+
+    rule_id = "OBS001"
+    description = ("metric names match [a-z][a-z0-9_]* and each name keeps "
+                   "one instrument kind and one label set project-wide")
+
+    def __init__(self) -> None:
+        #: name -> (kind, labels, module rel, line) of the first publish site.
+        self._seen: Dict[str, Tuple[str, Tuple[str, ...], str, int]] = {}
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        if module.rel.endswith("obs/metrics.py"):
+            # The registry module defines the instruments; its internal
+            # helpers are not publish sites.
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INSTRUMENT_KINDS):
+                continue
+            if not (node.args and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            kind = node.func.attr
+            name = node.args[0].value
+            labels = tuple(sorted(keyword.arg for keyword in node.keywords
+                                  if keyword.arg is not None))
+            if not _METRIC_NAME_RE.match(name):
+                findings.append(self.finding(
+                    module, node.lineno,
+                    f"metric name {name!r} violates the [a-z][a-z0-9_]* "
+                    f"convention"))
+                continue
+            prior = self._seen.get(name)
+            if prior is None:
+                self._seen[name] = (kind, labels, module.rel, node.lineno)
+                continue
+            prior_kind, prior_labels, prior_rel, prior_line = prior
+            if kind != prior_kind:
+                findings.append(self.finding(
+                    module, node.lineno,
+                    f"metric {name!r} published as {kind} here but as "
+                    f"{prior_kind} at {prior_rel}:{prior_line}"))
+            elif labels != prior_labels:
+                findings.append(self.finding(
+                    module, node.lineno,
+                    f"metric {name!r} published with labels {list(labels)} "
+                    f"here but {list(prior_labels)} at {prior_rel}:{prior_line}"))
+        return findings

@@ -1,0 +1,198 @@
+"""PAR001: row evaluator vs batch compiler operator parity.
+
+The row pipeline evaluates every :class:`Expr` subclass via its ``eval``
+method; the batch pipeline only executes expression types that
+``batch_compile.compile_expr`` explicitly dispatches on (``isinstance``
+branches).  An Expr subclass added to ``query/expressions.py`` without a
+matching branch would silently fall back to row mode for *every* query
+using it — legal, but it must be a recorded decision, not an accident.
+
+The contract this rule enforces:
+
+* every concrete Expr subclass is either handled by an ``isinstance``
+  branch in ``batch_compile.py`` or listed in its
+  ``ROW_ONLY_EXPRESSIONS = {"ClassName": "reason"}`` registry with a
+  human-readable fallback reason;
+* ``ROW_ONLY_EXPRESSIONS`` carries no stale entries (class gone, or class
+  now handled);
+* the batch compiler *shares* the row evaluator's operator tables — it
+  must import ``_FUNCTIONS`` from ``expressions`` and reach operators via
+  ``._OPS`` attribute access, never by copying the tables (a copy is the
+  classic way the two pipelines drift).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..lint import Finding, Module, Project, Rule
+
+
+class RowBatchParityRule(Rule):
+    """PAR001: expression dispatch parity between row and batch pipelines."""
+
+    rule_id = "PAR001"
+    description = ("every Expr subclass is batch-compiled or registered in "
+                   "ROW_ONLY_EXPRESSIONS with a reason; operator tables are "
+                   "shared, not copied")
+
+    def __init__(self, expr_suffix: str = "query/expressions.py",
+                 batch_suffix: str = "query/batch_compile.py") -> None:
+        self._expr_suffix = expr_suffix
+        self._batch_suffix = batch_suffix
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        expr_module = project.module_by_suffix(self._expr_suffix)
+        batch_module = project.module_by_suffix(self._batch_suffix)
+        if expr_module is None or batch_module is None:
+            # Scanning a subtree without the query layer: nothing to check.
+            return ()
+        findings: List[Finding] = []
+        subclasses = _expr_subclasses(expr_module.tree)
+        handled = _isinstance_targets(batch_module.tree)
+        row_only, registry_line = _row_only_registry(batch_module.tree)
+
+        for name, line in sorted(subclasses.items()):
+            if name in handled or name in row_only:
+                continue
+            findings.append(self.finding(
+                expr_module, line,
+                f"Expr subclass {name} is row-evaluable but batch_compile "
+                f"has no isinstance branch for it — add one, or register it "
+                f"in ROW_ONLY_EXPRESSIONS with the fallback reason"))
+        for name, reason in sorted(row_only.items()):
+            if name not in subclasses:
+                findings.append(self.finding(
+                    batch_module, registry_line,
+                    f"stale ROW_ONLY_EXPRESSIONS entry {name!r}: no such "
+                    f"Expr subclass in {self._expr_suffix}"))
+            elif name in handled:
+                findings.append(self.finding(
+                    batch_module, registry_line,
+                    f"stale ROW_ONLY_EXPRESSIONS entry {name!r}: "
+                    f"batch_compile now handles it — drop the entry"))
+            elif not reason.strip():
+                findings.append(self.finding(
+                    batch_module, registry_line,
+                    f"ROW_ONLY_EXPRESSIONS entry {name!r} has an empty "
+                    f"fallback reason"))
+
+        findings.extend(self._check_shared_tables(expr_module, batch_module))
+        return findings
+
+    def _check_shared_tables(self, expr_module: Module,
+                             batch_module: Module) -> Iterable[Finding]:
+        ops_classes = _classes_with_table(expr_module.tree, "_OPS")
+        has_functions_table = any(
+            isinstance(node, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "_FUNCTIONS"
+                for target in node.targets)
+            for node in expr_module.tree.body)
+
+        imports_functions = any(
+            isinstance(node, ast.ImportFrom)
+            and any(alias.name == "_FUNCTIONS" for alias in node.names)
+            for node in ast.walk(batch_module.tree))
+        reads_ops = any(
+            isinstance(node, ast.Attribute) and node.attr == "_OPS"
+            for node in ast.walk(batch_module.tree))
+        redefines = [
+            (name, node.lineno)
+            for node in batch_module.tree.body
+            if isinstance(node, ast.Assign)
+            for target in node.targets
+            if isinstance(target, ast.Name)
+            and target.id in ("_OPS", "_FUNCTIONS")
+            for name in (target.id,)
+        ]
+
+        for name, line in redefines:
+            yield self.finding(
+                batch_module, line,
+                f"batch_compile defines its own {name} table — share the row "
+                f"evaluator's table instead (copies drift)")
+        if has_functions_table and not imports_functions:
+            yield self.finding(
+                batch_module, 1,
+                "batch_compile does not import _FUNCTIONS from expressions — "
+                "registered row functions would be invisible to batch mode")
+        if ops_classes and not reads_ops:
+            yield self.finding(
+                batch_module, 1,
+                f"batch_compile never reads ._OPS although "
+                f"{sorted(ops_classes)} dispatch through operator tables — "
+                f"operators added to the row tables would not reach batch mode")
+
+
+def _expr_subclasses(tree: ast.Module) -> Dict[str, int]:
+    """Transitive subclasses of ``Expr`` defined at module top level."""
+    bases_by_class: Dict[str, Tuple[Set[str], int]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            base_names = {base.id for base in node.bases if isinstance(base, ast.Name)}
+            bases_by_class[node.name] = (base_names, node.lineno)
+    subclasses: Dict[str, int] = {}
+    changed = True
+    while changed:
+        changed = False
+        for name, (bases, line) in bases_by_class.items():
+            if name in subclasses:
+                continue
+            if "Expr" in bases or bases & set(subclasses):
+                subclasses[name] = line
+                changed = True
+    return subclasses
+
+
+def _isinstance_targets(tree: ast.Module) -> Set[str]:
+    """Class names checked via ``isinstance(expr, ...)`` anywhere."""
+    targets: Set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance" and len(node.args) == 2):
+            class_arg = node.args[1]
+            elements = class_arg.elts if isinstance(class_arg, ast.Tuple) else [class_arg]
+            for element in elements:
+                if isinstance(element, ast.Name):
+                    targets.add(element.id)
+    return targets
+
+
+def _row_only_registry(tree: ast.Module) -> Tuple[Dict[str, str], int]:
+    """The ``ROW_ONLY_EXPRESSIONS`` dict literal, if present."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(target, ast.Name) and target.id == "ROW_ONLY_EXPRESSIONS"
+                   for target in targets):
+            continue
+        registry: Dict[str, str] = {}
+        if isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                        and isinstance(val, ast.Constant) and isinstance(val.value, str)):
+                    registry[key.value] = val.value
+        return registry, node.lineno
+    return {}, 1
+
+
+def _classes_with_table(tree: ast.Module, table_name: str) -> Set[str]:
+    classes: Set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for statement in node.body:
+            targets: List[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+            if any(isinstance(target, ast.Name) and target.id == table_name
+                   for target in targets):
+                classes.add(node.name)
+    return classes

@@ -20,11 +20,45 @@ from typing import Optional
 #: (``None``).  Accepted truthy values: "1", "true", "on", "yes".
 LSM_SCHEDULER_ENV_VAR = "REPRO_LSM_SCHEDULER"
 
+#: Flag values :func:`env_flag` accepts as "on".
+_TRUTHY_FLAGS = ("1", "true", "on", "yes")
+
+
+def env_str(name: str, default: str = "") -> str:
+    """Read one ``REPRO_*`` knob as a stripped string.
+
+    This module is the engine's *single* environment accessor: every other
+    module reads its knobs through :func:`env_str` / :func:`env_int` /
+    :func:`env_flag` instead of touching ``os.environ`` directly, so the
+    KNOB001 lint rule can prove each knob is documented in the README table
+    (``python -m repro.analysis`` enforces this).
+    """
+    return os.environ.get(name, default).strip()
+
+
+def env_flag(name: str) -> bool:
+    """Whether a ``REPRO_*`` on/off knob is set to a truthy flag value."""
+    return env_str(name).lower() in _TRUTHY_FLAGS
+
+
+def env_int(name: str) -> Optional[int]:
+    """Read an integer knob; ``None`` when unset/empty.
+
+    Raises :class:`ValueError` (with the knob name) on a non-integer value —
+    callers translate it into their own error type when they need to.
+    """
+    value = env_str(name)
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
 
 def lsm_scheduler_env_default() -> bool:
     """Whether :data:`LSM_SCHEDULER_ENV_VAR` asks for background maintenance."""
-    return os.environ.get(LSM_SCHEDULER_ENV_VAR, "").strip().lower() in (
-        "1", "true", "on", "yes")
+    return env_flag(LSM_SCHEDULER_ENV_VAR)
 
 
 class StorageFormat(enum.Enum):

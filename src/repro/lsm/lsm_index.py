@@ -150,6 +150,7 @@ class LSMBTree:
         #: Sealed (immutable, flush-pending) memtables, oldest first.  Only
         #: populated under background maintenance; flushed strictly in order
         #: so component sequence numbers keep encoding recency.
+        # guarded-by: _rotation_cond
         self.sealed_memtables: List[SealedMemtable] = []
         #: On-disk components, newest first.
         self.components: List[OnDiskComponent] = []
@@ -173,8 +174,8 @@ class LSMBTree:
         # reader to finish (a lightweight stand-in for AsterixDB's
         # reference-counted component lifecycle).
         self._read_lock = threading.Lock()
-        self._active_reads = 0
-        self._deferred_drops: List[OnDiskComponent] = []
+        self._active_reads = 0  # guarded-by: _read_lock
+        self._deferred_drops: List[OnDiskComponent] = []  # guarded-by: _read_lock
         # Maintenance bookkeeping.  The maintenance lock serializes all
         # structure-mutating operations (flush, merge) of this index — the
         # background pools parallelize *across* partitions, never within one.
@@ -182,10 +183,12 @@ class LSMBTree:
         # in-flight counters, and is what backpressured writers and
         # drain_maintenance() wait on.
         self._maintenance_lock = threading.Lock()
-        self._rotation_cond = threading.Condition()
-        self._inflight_flushes = 0
-        self._inflight_merges = 0
-        self._merge_scheduled = False
+        # An explicit plain Lock (not Condition()'s implicit RLock) so the
+        # dynamic lock tracker sees rotation acquisitions (LOCK002).
+        self._rotation_cond = threading.Condition(threading.Lock())
+        self._inflight_flushes = 0  # guarded-by: _rotation_cond
+        self._inflight_merges = 0  # guarded-by: _rotation_cond
+        self._merge_scheduled = False  # guarded-by: _rotation_cond
 
     # ------------------------------------------------------------------ naming
 

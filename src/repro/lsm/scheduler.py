@@ -65,9 +65,9 @@ class LSMIOScheduler:
             max_workers=max_merge_workers, thread_name_prefix="repro-lsm-merge")
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._pending = 0
-        self._closed = False
-        self._failure: Optional[BaseException] = None
+        self._pending = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._failure: Optional[BaseException] = None  # guarded-by: _lock
         self.stats = SchedulerStats()
         metrics = metrics if metrics is not None else get_registry()
         self._pending_gauge = metrics.gauge("scheduler_pending_tasks")

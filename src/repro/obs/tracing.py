@@ -31,12 +31,13 @@ from __future__ import annotations
 import io
 import itertools
 import json
-import os
 import threading
 import time
 from contextvars import ContextVar, copy_context
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
+
+from ..config import env_str
 
 #: Environment variable controlling tracing: unset/empty = off, a truthy
 #: flag = in-memory only, anything else = JSONL output path.
@@ -161,12 +162,15 @@ class Tracer:
     def __init__(self, max_spans: int = 50_000) -> None:
         self.max_spans = max_spans
         self._lock = threading.Lock()
-        self._spans: List[Span] = []
-        self._events: List[Dict[str, Any]] = []
+        #: Export file I/O runs under its own (blocking-allowed) lock so the
+        #: hot span-recording lock never covers an open()/write()/flush().
+        self._export_lock = threading.Lock()
+        self._spans: List[Span] = []  # guarded-by: _lock
+        self._events: List[Dict[str, Any]] = []  # guarded-by: _lock
         self._ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
-        self._export_path: Optional[str] = None
-        self._export_file: Optional[io.TextIOBase] = None
+        self._export_path: Optional[str] = None  # guarded-by: _export_lock
+        self._export_file: Optional[io.TextIOBase] = None  # guarded-by: _export_lock
         #: Tri-state: None = follow the environment variable (resolved
         #: lazily, cached), True/False = explicitly configured.
         self._configured: Optional[bool] = None
@@ -184,19 +188,21 @@ class Tracer:
         return self._env_enabled
 
     def _resolve_env(self) -> None:
-        value = os.environ.get(TRACE_ENV_VAR, "").strip()
+        value = env_str(TRACE_ENV_VAR)
         with self._lock:
             self._env_resolved = True
             self._env_enabled = bool(value)
             if value and value.lower() not in _TRUTHY_FLAGS:
-                self._export_path = value
+                with self._export_lock:
+                    self._export_path = value
 
     def refresh_from_env(self) -> None:
         """Re-read ``REPRO_TRACE`` (tests flip the variable mid-process)."""
         self._close_export()
         with self._lock:
             self._env_resolved = False
-            self._export_path = None
+            with self._export_lock:
+                self._export_path = None
         self._configured = None
 
     def enable(self, export_path: Optional[str] = None) -> None:
@@ -204,7 +210,7 @@ class Tracer:
         self._configured = True
         if export_path is not None:
             self._close_export()
-            with self._lock:
+            with self._export_lock:
                 self._export_path = export_path
 
     def disable(self) -> None:
@@ -305,7 +311,9 @@ class Tracer:
         self._export(span.to_dict())
 
     def _export(self, payload: Dict[str, Any]) -> None:
-        with self._lock:
+        # Serialized by _export_lock alone: span/event state (_lock) is never
+        # held across the file I/O below.
+        with self._export_lock:
             if self._export_path is None:
                 return
             if self._export_file is None:
@@ -314,7 +322,7 @@ class Tracer:
             self._export_file.flush()
 
     def _close_export(self) -> None:
-        with self._lock:
+        with self._export_lock:
             if self._export_file is not None:
                 self._export_file.close()
                 self._export_file = None

@@ -53,6 +53,12 @@ from .plan import QuerySpec
 #: A compiled expression: batch in, one value per row out.
 ColumnEval = Callable[[ColumnBatch], List[Any]]
 
+#: Expr subclasses deliberately left to the row pipeline, with the reason.
+#: PAR001 (``python -m repro.analysis``) requires every Expr subclass to be
+#: either dispatched by :func:`compile_expr` or registered here — an entry
+#: makes the row-only fallback a recorded decision instead of a silent one.
+ROW_ONLY_EXPRESSIONS: Dict[str, str] = {}
+
 
 class BatchUnsupported(Exception):
     """An expression or plan shape the batch compiler cannot handle."""

@@ -35,14 +35,14 @@ Pieces of the paper's machinery made explicit here:
 
 from __future__ import annotations
 
-import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
-from threading import Lock
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..config import env_int, env_str
 from ..core.dataset import Dataset
 from ..errors import QueryError
 from ..obs import CARDINALITY_MISESTIMATE, NULL_SPAN, StatsDictMixin, emit_event
@@ -373,7 +373,8 @@ class LimitCancellation:
 
     def __init__(self, limit: int, partition_count: int) -> None:
         self.limit = limit
-        self._lock = Lock()
+        self._lock = threading.Lock()
+        # guarded-by: _lock
         self._completed: List[Optional[int]] = [None] * partition_count
 
     def mark_complete(self, index: int, row_count: int) -> None:
@@ -573,7 +574,7 @@ class QueryExecutor:
     def _resolve_execution_mode(self) -> ExecutionMode:
         mode = self.execution_mode
         if mode is None:
-            env_value = os.environ.get(EXECUTION_MODE_ENV_VAR, "").strip()
+            env_value = env_str(EXECUTION_MODE_ENV_VAR)
             if not env_value:
                 return ExecutionMode.BATCH
             mode = env_value
@@ -589,14 +590,12 @@ class QueryExecutor:
     def _resolve_batch_size(self) -> int:
         size = self.batch_size
         if size is None:
-            env_value = os.environ.get(BATCH_SIZE_ENV_VAR, "").strip()
-            if not env_value:
-                return DEFAULT_BATCH_SIZE
             try:
-                size = int(env_value)
-            except ValueError:
-                raise QueryError(
-                    f"{BATCH_SIZE_ENV_VAR} must be an integer, got {env_value!r}")
+                size = env_int(BATCH_SIZE_ENV_VAR)
+            except ValueError as exc:
+                raise QueryError(str(exc))
+            if size is None:
+                return DEFAULT_BATCH_SIZE
         if size < 0:
             raise QueryError(f"batch size must be >= 0, got {size}")
         return size
@@ -604,14 +603,11 @@ class QueryExecutor:
     def _resolve_parallelism(self, dataset: Dataset) -> int:
         requested = self.parallelism
         if requested is None:
-            env_value = os.environ.get(PARALLELISM_ENV_VAR, "").strip()
-            if env_value:
-                try:
-                    requested = int(env_value)
-                except ValueError:
-                    raise QueryError(
-                        f"{PARALLELISM_ENV_VAR} must be an integer, got {env_value!r}")
-            else:
+            try:
+                requested = env_int(PARALLELISM_ENV_VAR)
+            except ValueError as exc:
+                raise QueryError(str(exc))
+            if requested is None:
                 requested = dataset.partition_count
         if requested < 1:
             raise QueryError(f"parallelism must be >= 1, got {requested}")

@@ -89,7 +89,7 @@ class BufferCache:
         self.capacity_pages = capacity_pages
         self.page_size = file_manager.page_size
         self.stats = CacheStats()
-        self._frames: "OrderedDict[PageKey, _Frame]" = OrderedDict()
+        self._frames: "OrderedDict[PageKey, _Frame]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
         metrics = metrics if metrics is not None else get_registry()
         self._hits = metrics.counter("cache_hits")
@@ -167,8 +167,8 @@ class BufferCache:
 
     # -- internals ----------------------------------------------------------------------
 
+    # requires-lock: _lock
     def _install(self, key: PageKey, frame: _Frame) -> None:
-        # Callers hold self._lock.
         if key in self._frames:
             existing = self._frames[key]
             frame.pin_count = existing.pin_count
@@ -176,6 +176,7 @@ class BufferCache:
         self._frames.move_to_end(key)
         self._evict_if_needed(protect=key)
 
+    # requires-lock: _lock
     def _evict_if_needed(self, protect: PageKey) -> None:
         while len(self._frames) > self.capacity_pages:
             victim_key = None

@@ -63,10 +63,10 @@ class WriteAheadLog:
     def __init__(self, device: Optional[SimulatedStorageDevice] = None,
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self.device = device
-        self._records: List[LogRecord] = []
-        self._next_lsn = 1
-        self._truncated_up_to = 0
-        self.bytes_written = 0
+        self._records: List[LogRecord] = []  # guarded-by: _lock
+        self._next_lsn = 1  # guarded-by: _lock
+        self._truncated_up_to = 0  # guarded-by: _lock
+        self.bytes_written = 0  # guarded-by: _lock
         metrics = metrics if metrics is not None else get_registry()
         self._appends_metric = metrics.counter("wal_records_appended")
         self._bytes_metric = metrics.counter("wal_bytes_written")
