@@ -46,7 +46,18 @@ from .config import (
     StorageFormat,
 )
 from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
-from .errors import ReproError, SchedulerError, SqlppError
+from .errors import (
+    CorruptPageError,
+    FaultSpecError,
+    PermanentIOError,
+    QuarantinedComponentError,
+    QueryDeadlineError,
+    ReproError,
+    SchedulerError,
+    SqlppError,
+    TransientIOError,
+)
+from .faults import FAULTS_ENV_VAR, FaultInjector, fault_points, get_injector
 from .lsm import LSMIOScheduler
 from .obs import (
     MetricsRegistry,
@@ -88,6 +99,16 @@ __all__ = [
     "ReproError",
     "SchedulerError",
     "SqlppError",
+    "TransientIOError",
+    "PermanentIOError",
+    "CorruptPageError",
+    "QuarantinedComponentError",
+    "FaultSpecError",
+    "QueryDeadlineError",
+    "FaultInjector",
+    "get_injector",
+    "fault_points",
+    "FAULTS_ENV_VAR",
     "LSMIOScheduler",
     "LSM_SCHEDULER_ENV_VAR",
     "MetricsRegistry",

@@ -75,6 +75,9 @@ _DECLS: Tuple[LockDecl, ...] = (
              doc="guards the frame table; miss fetches run outside it"),
     LockDecl("SimulatedStorageDevice", "_lock", 40, "lock", "storage/device.py",
              doc="guards byte/op counters; simulated latency sleeps run outside it"),
+    LockDecl("FaultInjector", "_lock", 35, "lock", "faults/injector.py",
+             doc="guards fault-rule state (hit counters, RNG streams); the "
+                 "injected raise happens after release"),
     LockDecl("LimitCancellation", "_lock", 30, "lock", "query/executor.py",
              doc="guards the cross-partition row-budget counter for LIMIT pushdown"),
     LockDecl("Tracer", "_lock", 20, "lock", "obs/tracing.py",

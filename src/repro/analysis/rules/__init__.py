@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from ..lint import Rule
+from .fault_rules import FaultPointRule
 from .knob_rules import KnobAccessorRule
 from .lock_rules import BlockingUnderLockRule, GuardedByRule, LockHierarchyRule
 from .obs_rules import MetricNameRule
@@ -21,6 +22,7 @@ __all__ = [
     "LockHierarchyRule",
     "GuardedByRule",
     "KnobAccessorRule",
+    "FaultPointRule",
     "MetricNameRule",
     "RowBatchParityRule",
     "default_rules",
@@ -34,6 +36,7 @@ def default_rules() -> List[Rule]:
         LockHierarchyRule(),
         GuardedByRule(),
         KnobAccessorRule(),
+        FaultPointRule(),
         MetricNameRule(),
         RowBatchParityRule(),
     ]

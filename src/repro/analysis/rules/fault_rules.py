@@ -1,0 +1,133 @@
+"""FAULT001: fault-injection points stay registered and documented.
+
+The fault injector looks points up by name at runtime, so a typo in a
+``fire_fault("...")`` call site would create a point that can never be
+configured (the injector rejects unregistered names — but only when a rule
+targets it, which a typo'd name never does, so the call silently becomes a
+no-op fault hook).  The chaos suite and operators both discover points from
+the central registry, so every point must live there and in the README's
+fault-point table:
+
+* every name passed to ``fire_fault``/``corrupt_payload`` is declared in
+  ``repro.faults.points.FAULT_POINTS`` (extracted statically from the
+  literal ``FaultPoint("...")`` entries);
+* every registered point is documented in the README fault-point table as
+  `` `point.name` `` (the KNOB001 pattern);
+* a registered point that no production code fires is reported as a
+  warning — it is dead surface area the chaos suite believes it can pull.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from ..lint import SEVERITY_WARNING, Finding, Module, Project, Rule
+
+#: The injector entry points whose first argument names a fault point.
+_FIRE_FUNCTIONS = ("fire_fault", "corrupt_payload")
+
+#: Module holding the central registry.
+_POINTS_SUFFIX = "faults/points.py"
+
+
+class FaultPointRule(Rule):
+    """FAULT001: central registry + README documentation for fault points."""
+
+    rule_id = "FAULT001"
+    description = ("fault points fired via fire_fault/corrupt_payload are "
+                   "declared in faults.points.FAULT_POINTS and documented "
+                   "in the README fault-point table")
+
+    def __init__(self) -> None:
+        #: point name -> first (module rel, line) that fires it.
+        self._fired: Dict[str, Tuple[str, int]] = {}
+
+    def check_module(self, module: Module, project: Project) -> Iterable[Finding]:
+        if module.rel.endswith(_POINTS_SUFFIX) or "faults/injector" in module.rel:
+            # The registry itself and the injector (which fires points by
+            # rule lookup, not literal name) are exempt.
+            return []
+        assigned = _string_assignments(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name not in _FIRE_FUNCTIONS or not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                self._fired.setdefault(first.value, (module.rel, node.lineno))
+            elif isinstance(first, ast.Name):
+                # fire_fault(point) where point was assigned string literals
+                # (possibly via a conditional expression): every candidate
+                # value counts as fired.
+                for value in assigned.get(first.id, ()):
+                    self._fired.setdefault(value, (module.rel, node.lineno))
+        return []
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        points_module = project.module_by_suffix(_POINTS_SUFFIX)
+        registered = (_registered_points(points_module.tree)
+                      if points_module is not None else {})
+        for point, (rel, line) in sorted(self._fired.items()):
+            if points_module is not None and point not in registered:
+                yield self.finding(
+                    rel, line,
+                    f"fault point {point!r} is fired here but not declared "
+                    f"in FAULT_POINTS ({_POINTS_SUFFIX}) — a rule targeting "
+                    f"it would be rejected as unregistered")
+        if points_module is None:
+            return
+        for point, line in sorted(registered.items(), key=lambda item: item[1]):
+            if project.readme_text and f"`{point}`" not in project.readme_text:
+                yield self.finding(
+                    points_module.rel, line,
+                    f"fault point {point} is registered but missing from "
+                    f"the README fault-point table — document where it "
+                    f"fires and what it aborts")
+            if point not in self._fired:
+                yield self.finding(
+                    points_module.rel, line,
+                    f"fault point {point} is registered but never fired by "
+                    f"production code — remove it or wire it in",
+                    severity=SEVERITY_WARNING)
+
+
+def _string_assignments(tree: ast.Module) -> Dict[str, List[str]]:
+    """Every string a simple name is assigned anywhere in the module.
+
+    Covers ``point = "a.b"`` and ``point = "a.b" if cond else "c.d"`` —
+    enough to resolve the scheduler's branch-dependent fire site.
+    """
+    values: Dict[str, List[str]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        candidates: List[ast.expr] = []
+        if isinstance(node.value, ast.IfExp):
+            candidates = [node.value.body, node.value.orelse]
+        else:
+            candidates = [node.value]
+        for candidate in candidates:
+            if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+                values.setdefault(node.targets[0].id, []).append(candidate.value)
+    return values
+
+
+def _registered_points(tree: ast.Module) -> Dict[str, int]:
+    """Names of the literal ``FaultPoint("...")`` entries in FAULT_POINTS."""
+    points: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "FaultPoint" and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            points.setdefault(node.args[0].value, node.lineno)
+    return points
+
+
+__all__ = ["FaultPointRule"]

@@ -171,6 +171,24 @@ class Dataset:
         for partition in self.partitions:
             partition.drain()
 
+    def resume_maintenance(self) -> Optional[BaseException]:
+        """Acknowledge a background maintenance failure and resume.
+
+        The scheduler's failure latch is explicit: a flush/merge that dies
+        (retry budget exhausted, or a non-transient error) keeps surfacing
+        through ``drain()``/ingest backpressure until cleared here.  Clears
+        the latch, then resubmits flush tasks for any sealed memtables the
+        dead task orphaned, so the pipeline makes progress again.  Returns
+        the cleared exception (``None`` when nothing had failed).  No-op in
+        synchronous mode.
+        """
+        if self.scheduler is None:
+            return None
+        failure = self.scheduler.clear_failure()
+        for partition in self.partitions:
+            partition.resume_maintenance()
+        return failure
+
     def close(self) -> None:
         """Quiesce background maintenance deterministically.  Idempotent.
 

@@ -102,6 +102,10 @@ class Partition:
         """Wait until this partition's background flushes/merges are quiet."""
         self.index.drain_maintenance()
 
+    def resume_maintenance(self) -> int:
+        """Requeue flush work orphaned by a cleared background failure."""
+        return self.index.resume_maintenance()
+
     # ------------------------------------------------------------------ reads
 
     def search(self, key: Any) -> Optional[Dict[str, Any]]:

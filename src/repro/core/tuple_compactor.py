@@ -56,6 +56,21 @@ class TupleCompactor(FlushCallback):
     def begin_flush(self, component_id: ComponentId) -> None:
         self.flush_count += 1
 
+    def snapshot_state(self) -> Any:
+        """Deep-copy the cumulative schema state for flush-retry rollback.
+
+        The schema (and its counters) grow record by record during a flush;
+        if the flush fails mid-way and is retried, replaying the memtable
+        against the mutated schema would double-count every observed field
+        — so the engine restores this snapshot first.
+        """
+        return (self.schema.snapshot(), self.flush_count,
+                self.records_compacted, self.bytes_saved)
+
+    def restore_state(self, state: Any) -> None:
+        (self.schema, self.flush_count,
+         self.records_compacted, self.bytes_saved) = state
+
     def transform_record(self, key: Any, record: Optional[Dict[str, Any]], encoded: bytes) -> bytes:
         """Infer the record's schema, then compact it.
 

@@ -51,6 +51,49 @@ class PageNotFoundError(StorageError):
     """A page id was requested that does not exist in the file."""
 
 
+class TransientIOError(StorageError):
+    """An I/O operation failed in a way that is expected to succeed on retry.
+
+    The class real devices surface as EAGAIN/EINTR-style hiccups and cloud
+    block stores surface as throttling.  The maintenance scheduler retries
+    these with exponential backoff inside the failing task (see
+    ``LSMIOScheduler``); everything else treats them like any
+    :class:`StorageError`.
+    """
+
+
+class PermanentIOError(StorageError):
+    """An I/O operation failed in a way retrying cannot fix (ENOSPC, EIO)."""
+
+
+class CorruptPageError(StorageError):
+    """A page or log record failed its CRC32 integrity check.
+
+    Raised by the file manager when a component page's stored checksum does
+    not match the bytes read back, and by the WAL for records whose payload
+    checksum mismatches outside recovery (during recovery the torn tail is
+    truncated instead).  LSM read paths catch it to quarantine the corrupt
+    component.
+    """
+
+
+class QuarantinedComponentError(StorageError):
+    """A query needed data from a component that is quarantined as corrupt.
+
+    With no replica to route to, failing with a typed error is the only
+    correct answer — silently skipping the component would return wrong
+    rows.  Carries the component's file name in ``component_name``.
+    """
+
+    def __init__(self, message: str, component_name: "str | None" = None) -> None:
+        super().__init__(message)
+        self.component_name = component_name
+
+
+class FaultSpecError(StorageError):
+    """A ``REPRO_FAULTS`` fault-injection spec string could not be parsed."""
+
+
 class BufferCacheFullError(StorageError):
     """The buffer cache cannot evict a page to make room (all pinned)."""
 
@@ -100,6 +143,16 @@ class KeyNotFoundError(DatasetError):
 
 class QueryError(ReproError):
     """A query plan could not be built or executed."""
+
+
+class QueryDeadlineError(QueryError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    Raised by the executor when ``deadline`` (or ``REPRO_QUERY_DEADLINE``)
+    elapses before the query completes; partition workers observe the shared
+    cancellation flag at row/batch boundaries, so the abort is prompt but
+    never tears a partially-consumed iterator.
+    """
 
 
 class SqlppError(QueryError):

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for chaos testing (see README).
+
+Public surface: :func:`fire_fault` / :func:`corrupt_payload` are the
+engine-side checks threaded through the storage stack; tests configure the
+process-global :class:`FaultInjector` through :func:`get_injector` or the
+``REPRO_FAULTS`` spec; :func:`fault_points` enumerates every registered
+injection point at runtime.
+"""
+
+from .injector import (FAULTS_ENV_VAR, FaultInjector, FaultRule,
+                       corrupt_payload, fault_points, fire_fault,
+                       get_injector, parse_spec)
+from .points import FAULT_POINTS, FaultPoint
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultPoint",
+    "FaultRule",
+    "corrupt_payload",
+    "fault_points",
+    "fire_fault",
+    "get_injector",
+    "parse_spec",
+]

@@ -235,8 +235,15 @@ class ComponentWriter:
         to model a crash in the middle of a flush (paper §3.1.2).
         """
         manager = self.buffer_cache.file_manager
-        if not manager.exists(self.file_name):
-            manager.create_file(self.file_name)
+        if manager.exists(self.file_name):
+            # Component files are write-once; an existing file is a leftover
+            # from a failed earlier attempt (e.g. a transient I/O fault mid
+            # flush).  Resuming into it would violate the sequential-write
+            # invariant, so recreate from scratch — that is what makes
+            # flush/merge tasks safely retryable.
+            self.buffer_cache.invalidate_file(self.file_name)
+            manager.delete_file(self.file_name)
+        manager.create_file(self.file_name)
         info = BulkLoader(self.buffer_cache, self.file_name).build(entries)
 
         record_count = sum(1 for entry in entries if not entry.is_antimatter)

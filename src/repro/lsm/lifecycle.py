@@ -71,3 +71,18 @@ class FlushCallback:
 
     def on_component_deleted(self, component: OnDiskComponent) -> None:
         """Called when a merged-away (or invalid) component is dropped."""
+
+    def snapshot_state(self) -> Any:
+        """Capture whatever cumulative state a flush mutates.
+
+        Taken by the engine before each flush attempt so a failed attempt can
+        be rolled back with :meth:`restore_state` and retried safely — the
+        tuple compactor's inferred schema grows in ``transform_record`` /
+        ``process_antischema``, and replaying a half-processed memtable
+        without the rollback would double-count every field.  The default
+        callback keeps no state.
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Roll back to a :meth:`snapshot_state` capture after a failed flush."""

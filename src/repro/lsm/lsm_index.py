@@ -24,12 +24,15 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..btree import BTree, BulkLoader, LeafEntry
 from ..errors import (
     ComponentStateError,
+    CorruptPageError,
     DuplicateKeyError,
     KeyNotFoundError,
     MaintenanceDecodeError,
+    QuarantinedComponentError,
     SchedulerError,
 )
-from ..obs import MetricsRegistry, StatsDictMixin, get_registry
+from ..obs import (COMPONENT_QUARANTINED, MetricsRegistry, StatsDictMixin,
+                   emit_event, get_registry)
 from ..obs import tracer as _tracer
 from ..schema import InferredSchema
 from ..storage.buffer_cache import BufferCache
@@ -176,6 +179,12 @@ class LSMBTree:
         self._read_lock = threading.Lock()
         self._active_reads = 0  # guarded-by: _read_lock
         self._deferred_drops: List[OnDiskComponent] = []  # guarded-by: _read_lock
+        #: Components whose pages failed their CRC32 check, keyed by file
+        #: name with the failure reason.  With no replica to route to, every
+        #: read touching a quarantined component raises
+        #: QuarantinedComponentError — a typed error beats silently missing
+        #: rows (the chaos suite's core guarantee).
+        self._quarantined: Dict[str, str] = {}  # guarded-by: _read_lock
         # Maintenance bookkeeping.  The maintenance lock serializes all
         # structure-mutating operations (flush, merge) of this index — the
         # background pools parallelize *across* partitions, never within one.
@@ -376,42 +385,65 @@ class LSMBTree:
                              fail_before_footer: bool = False) -> Optional[OnDiskComponent]:
         component_id = ComponentId.flushed(self._next_sequence)
         callback = self.flush_callback
-        callback.begin_flush(component_id)
-
-        leaf_entries: List[LeafEntry] = []
-        for entry in memtable.sorted_entries():
-            if entry.antischema is not None or entry.is_antimatter:
-                callback.process_antischema(entry.antischema)
-            if entry.is_antimatter:
-                leaf_entries.append(LeafEntry(entry.key, b"", is_antimatter=True))
-            else:
-                payload = callback.transform_record(entry.key, entry.record, entry.encoded)
-                leaf_entries.append(LeafEntry(entry.key, payload, is_antimatter=False))
-
-        schema_bytes, schema = callback.end_flush()
+        # Everything before the in-memory install below is rolled back on
+        # failure (callback state restored, partial files deleted), so the
+        # scheduler can retry a transiently-failed flush task from scratch.
+        # The one exception is the simulated crash (fail_before_footer),
+        # which must leave its partial file behind for recovery to find —
+        # a crashed process does not get to clean up.
+        callback_state = callback.snapshot_state()
         file_name = self._component_file(component_id)
-        if self.wal is not None:
-            self.wal.append(LogRecordType.FLUSH_START, self.name, self.partition)
-        writer = ComponentWriter(self.buffer_cache, file_name)
-        metadata = writer.write(component_id, leaf_entries, schema_bytes,
-                                fail_before_footer=fail_before_footer)
-        component = OnDiskComponent(component_id, file_name, self.buffer_cache, metadata,
-                                    schema=schema, valid=True)
-        self._build_auxiliary_indexes(component, leaf_entries)
+        component: Optional[OnDiskComponent] = None
+        try:
+            callback.begin_flush(component_id)
+
+            leaf_entries: List[LeafEntry] = []
+            for entry in memtable.sorted_entries():
+                if entry.antischema is not None or entry.is_antimatter:
+                    callback.process_antischema(entry.antischema)
+                if entry.is_antimatter:
+                    leaf_entries.append(LeafEntry(entry.key, b"", is_antimatter=True))
+                else:
+                    payload = callback.transform_record(entry.key, entry.record, entry.encoded)
+                    leaf_entries.append(LeafEntry(entry.key, payload, is_antimatter=False))
+
+            schema_bytes, schema = callback.end_flush()
+            if self.wal is not None:
+                self.wal.append(LogRecordType.FLUSH_START, self.name, self.partition)
+            writer = ComponentWriter(self.buffer_cache, file_name)
+            metadata = writer.write(component_id, leaf_entries, schema_bytes,
+                                    fail_before_footer=fail_before_footer)
+            component = OnDiskComponent(component_id, file_name, self.buffer_cache, metadata,
+                                        schema=schema, valid=True)
+            self._build_auxiliary_indexes(component, leaf_entries)
+            if self.wal is not None:
+                # Per-partition truncation: the log is shared across
+                # partitions, and under background flushing only the sealed
+                # prefix of *this* partition's records is covered by the new
+                # component.  Truncating before the install is safe — the
+                # component's validity bit is already on disk — and keeps
+                # the install the last, infallible step, so a retried task
+                # never observes a half-committed flush.
+                covered_lsn = self.wal.last_lsn if up_to_lsn is None else up_to_lsn
+                self.wal.append(LogRecordType.FLUSH_END, self.name, self.partition)
+                self.wal.truncate_partition(self.name, self.partition, covered_lsn)
+        except BaseException:
+            callback.restore_state(callback_state)
+            if not fail_before_footer:
+                if component is not None:
+                    self._delete_component_files(component)
+                elif self.buffer_cache.file_manager.exists(file_name):
+                    self.buffer_cache.invalidate_file(file_name)
+                    self.buffer_cache.file_manager.delete_file(file_name)
+            raise
+
+        # Commit point: pure in-memory bookkeeping, nothing below can fail.
         self.components.insert(0, component)
         self._next_sequence += 1
         self.stats.flushes += 1
         self.stats.bytes_flushed += component.size_bytes()
         self._flushes_metric.inc()
         self._bytes_flushed_metric.inc(component.size_bytes())
-
-        if self.wal is not None:
-            covered_lsn = self.wal.last_lsn if up_to_lsn is None else up_to_lsn
-            self.wal.append(LogRecordType.FLUSH_END, self.name, self.partition)
-            # Per-partition truncation: the log is shared across partitions,
-            # and under background flushing only the sealed prefix of *this*
-            # partition's records is covered by the new component.
-            self.wal.truncate_partition(self.name, self.partition, covered_lsn)
         if memtable is self.memory_component:
             memtable.clear()
         self._after_flush_maintenance()
@@ -429,7 +461,8 @@ class LSMBTree:
                 return
             self._merge_scheduled = True
         try:
-            self.scheduler.submit_merge(self._background_merge)
+            self.scheduler.submit_merge(self._background_merge,
+                                        on_abandoned=self._retire_merge_submission)
         except SchedulerError:
             with self._rotation_cond:
                 self._merge_scheduled = False
@@ -475,11 +508,16 @@ class LSMBTree:
             self._seals_metric.inc()
             self._sealed_gauge.set(len(self.sealed_memtables))
         try:
-            scheduler.submit_flush(self._background_flush)
+            scheduler.submit_flush(self._background_flush,
+                                   on_abandoned=self._retire_flush_submission)
         except SchedulerError:
             # Scheduler closed between the rotation and the submission: fall
             # back to flushing the sealed memtable inline (synchronously).
-            self._background_flush()
+            try:
+                self._background_flush()
+            except BaseException:
+                self._retire_flush_submission()
+                raise
 
     def _merge_debt_exceeded(self) -> bool:
         """True while a merge is pending and components have piled up past
@@ -494,27 +532,44 @@ class LSMBTree:
         Tasks are anonymous — any worker executing any task pops the oldest
         sealed memtable under the maintenance lock, so per-index flush order
         matches seal order even with several flush workers.
+
+        ``_inflight_flushes`` is per-*submission*, not per-attempt: the
+        scheduler may run this task several times (transient-failure
+        retries), so the count drops only on success here — or exactly once
+        via :meth:`_flush_abandoned` when the scheduler gives up on the
+        submission (including giving up before the task body ever ran), so
+        the count drops exactly once per submission either way.
         """
-        try:
-            with self._maintenance_lock:
-                with self._rotation_cond:
-                    sealed = self.sealed_memtables[0] if self.sealed_memtables else None
-                if sealed is not None:
-                    with self._maintenance_io_scope():
-                        self._flush_memtable(sealed.memtable, up_to_lsn=sealed.up_to_lsn)
-                    # Pop only after the on-disk component is installed (and
-                    # while still holding the maintenance lock, so the next
-                    # flush task cannot observe this memtable again): readers
-                    # always find the entries in the sealed snapshot or the
-                    # component snapshot.
-                    with self._rotation_cond:
-                        self.sealed_memtables.pop(0)
-                        self._sealed_gauge.set(len(self.sealed_memtables))
-                        self._rotation_cond.notify_all()
-        finally:
+        with self._maintenance_lock:
             with self._rotation_cond:
-                self._inflight_flushes -= 1
-                self._rotation_cond.notify_all()
+                sealed = self.sealed_memtables[0] if self.sealed_memtables else None
+            if sealed is not None:
+                with self._maintenance_io_scope():
+                    self._flush_memtable(sealed.memtable, up_to_lsn=sealed.up_to_lsn)
+                # Pop only after the on-disk component is installed (and
+                # while still holding the maintenance lock, so the next
+                # flush task cannot observe this memtable again): readers
+                # always find the entries in the sealed snapshot or the
+                # component snapshot.
+                with self._rotation_cond:
+                    self.sealed_memtables.pop(0)
+                    self._sealed_gauge.set(len(self.sealed_memtables))
+                    self._rotation_cond.notify_all()
+        self._retire_flush_submission()
+
+    def _retire_flush_submission(self) -> None:
+        """Drop one flush submission's in-flight count (done or abandoned)."""
+        with self._rotation_cond:
+            self._inflight_flushes -= 1
+            self._rotation_cond.notify_all()
+
+    def _retire_merge_submission(self) -> None:
+        """Unblock drain when the scheduler abandons a merge submission
+        (``_inflight_merges`` is attempt-local, but ``_merge_scheduled`` is
+        per-submission and would otherwise stay set forever)."""
+        with self._rotation_cond:
+            self._merge_scheduled = False
+            self._rotation_cond.notify_all()
 
     def _background_merge(self) -> None:
         """Re-evaluate the merge policy and merge (runs on a merge worker)."""
@@ -538,6 +593,29 @@ class LSMBTree:
         if device is None:
             return nullcontext()
         return device.io_class_scope("maintenance")
+
+    def resume_maintenance(self) -> int:
+        """Resubmit flush tasks for sealed memtables orphaned by a failure.
+
+        When a background flush exhausts its retry budget, its task dies with
+        the sealed memtable still queued — nothing would ever flush it, so
+        ``flush()``/``drain()`` would raise forever even after the operator
+        clears the scheduler's failure latch.  Called by
+        :meth:`~repro.core.dataset.Dataset.resume_maintenance` after
+        ``clear_failure()``; returns the number of flush tasks resubmitted.
+        """
+        if self.scheduler is None or self.scheduler.closed:
+            return 0
+        resubmitted = 0
+        with self._rotation_cond:
+            missing = len(self.sealed_memtables) - self._inflight_flushes
+            for _ in range(max(0, missing)):
+                self.scheduler.submit_flush(
+                    self._background_flush,
+                    on_abandoned=self._retire_flush_submission)
+                self._inflight_flushes += 1
+                resubmitted += 1
+        return resubmitted
 
     def drain_maintenance(self) -> None:
         """Block until no sealed memtable, flush, or merge is outstanding.
@@ -630,15 +708,27 @@ class LSMBTree:
             component.component_id < oldest_selected and id(component) not in selected_ids
             for component in self.components
         )
-        entries = list(self._merge_entries(selected, drop_antimatter=not has_older_left))
-
-        schema_bytes, schema = self.flush_callback.select_merge_schema(selected)
         file_name = self._component_file(merged_id)
-        writer = ComponentWriter(self.buffer_cache, file_name)
-        metadata = writer.write(merged_id, entries, schema_bytes)
-        merged = OnDiskComponent(merged_id, file_name, self.buffer_cache, metadata,
-                                 schema=schema, valid=True)
-        self._build_auxiliary_indexes(merged, entries)
+        merged: Optional[OnDiskComponent] = None
+        try:
+            entries = list(self._merge_entries(selected, drop_antimatter=not has_older_left))
+
+            schema_bytes, schema = self.flush_callback.select_merge_schema(selected)
+            writer = ComponentWriter(self.buffer_cache, file_name)
+            metadata = writer.write(merged_id, entries, schema_bytes)
+            merged = OnDiskComponent(merged_id, file_name, self.buffer_cache, metadata,
+                                     schema=schema, valid=True)
+            self._build_auxiliary_indexes(merged, entries)
+        except BaseException:
+            # Merges mutate nothing until the component-list swap below, so
+            # rollback is just removing the partial output file; the inputs
+            # stay live and a retried merge task re-selects from scratch.
+            if merged is not None:
+                self._delete_component_files(merged)
+            elif self.buffer_cache.file_manager.exists(file_name):
+                self.buffer_cache.invalidate_file(file_name)
+                self.buffer_cache.file_manager.delete_file(file_name)
+            raise
 
         # Swap in the post-merge component list with a single assignment so a
         # concurrent scan snapshotting `self.components` never observes an
@@ -886,21 +976,26 @@ class LSMBTree:
             raise KeyNotFoundError(f"unknown secondary index {index_name!r}")
         keys: List[Any] = []
         seen: set = set()
-        for component in list(self.components):
+        components = list(self.components)
+        self._raise_if_quarantined(components)
+        for component in components:
             tree = getattr(component, "secondary_trees", {}).get(index_name)
             if tree is None:
                 continue
             try:
-                matched = self._tree_range_keys(tree, low, high, low_inclusive, high_inclusive)
-            except TypeError:
-                # The bounds and this component's indexed values do not share
-                # an order (e.g. a numeric predicate over a string-valued
-                # component): the B+-tree descent cannot compare them.  Fall
-                # back to walking the whole tree, keeping only entries that
-                # *are* comparable and in range — incomparable values can
-                # never satisfy the predicate, exactly like the scan path,
-                # where the residual comparison evaluates to MISSING.
-                matched = self._tree_filtered_keys(tree, low, high, low_inclusive, high_inclusive)
+                try:
+                    matched = self._tree_range_keys(tree, low, high, low_inclusive, high_inclusive)
+                except TypeError:
+                    # The bounds and this component's indexed values do not share
+                    # an order (e.g. a numeric predicate over a string-valued
+                    # component): the B+-tree descent cannot compare them.  Fall
+                    # back to walking the whole tree, keeping only entries that
+                    # *are* comparable and in range — incomparable values can
+                    # never satisfy the predicate, exactly like the scan path,
+                    # where the residual comparison evaluates to MISSING.
+                    matched = self._tree_filtered_keys(tree, low, high, low_inclusive, high_inclusive)
+            except CorruptPageError as exc:
+                self._quarantine_component(component, exc)
             for primary_key in matched:
                 if primary_key in seen:
                     continue
@@ -965,14 +1060,56 @@ class LSMBTree:
             return SearchResult(key, payload, component.schema)
 
     def _search_disk(self, key: Any) -> Optional[Tuple[bytes, OnDiskComponent]]:
-        for component in list(self.components):
-            found = component.search(key)
+        components = list(self.components)
+        self._raise_if_quarantined(components)
+        for component in components:
+            try:
+                found = component.search(key)
+            except CorruptPageError as exc:
+                self._quarantine_component(component, exc)
             if found is None:
                 continue
             if found.is_antimatter:
                 return None
             return found.value, component
         return None
+
+    # ------------------------------------------------------------------ quarantine
+
+    def quarantined_components(self) -> Dict[str, str]:
+        """Quarantined component file names with their failure reasons."""
+        with self._read_lock:
+            return dict(self._quarantined)
+
+    def _raise_if_quarantined(self, components: Sequence[OnDiskComponent]) -> None:
+        """Fail fast when a read snapshot includes a quarantined component.
+
+        A query whose snapshot needs a corrupt, replica-less component can
+        only be answered wrong; the typed error is the correct outcome.
+        """
+        with self._read_lock:
+            if not self._quarantined:
+                return
+            for component in components:
+                reason = self._quarantined.get(component.file_name)
+                if reason is not None:
+                    raise QuarantinedComponentError(
+                        f"component {component.file_name} is quarantined: {reason}",
+                        component_name=component.file_name)
+
+    def _quarantine_component(self, component: OnDiskComponent,
+                              exc: CorruptPageError) -> None:
+        """Record a corrupt component and surface the typed error."""
+        with self._read_lock:
+            first_offender = component.file_name not in self._quarantined
+            self._quarantined[component.file_name] = str(exc)
+        if first_offender:
+            emit_event(COMPONENT_QUARANTINED, dataset=self.name,
+                       partition=self.partition, component=component.file_name,
+                       reason=str(exc))
+        raise QuarantinedComponentError(
+            f"component {component.file_name} is quarantined: {exc}",
+            component_name=component.file_name) from exc
 
     def scan(self) -> Iterator[SearchResult]:
         """Full scan in key order, reconciling duplicates by recency.
@@ -1001,6 +1138,7 @@ class LSMBTree:
             memory_snapshots.append(sealed.memtable.sorted_entries())
         schema = self.current_schema()
         components = list(self.components)
+        self._raise_if_quarantined(components)
 
         # Sources by recency: mutable memtable, sealed memtables newest
         # first (negative ranks), then components (ranks 0..) by recency.
@@ -1011,8 +1149,11 @@ class LSMBTree:
                 yield entry.key, entry.is_antimatter, entry.encoded, entry.record, schema
 
         def component_iterator(component: OnDiskComponent):
-            for entry in component.scan():
-                yield entry.key, entry.is_antimatter, entry.value, None, component.schema
+            try:
+                for entry in component.scan():
+                    yield entry.key, entry.is_antimatter, entry.value, None, component.schema
+            except CorruptPageError as exc:
+                self._quarantine_component(component, exc)
 
         for position, entries in enumerate(memory_snapshots):
             sources.append((position - len(memory_snapshots), memory_iterator(entries)))

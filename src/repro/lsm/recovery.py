@@ -40,6 +40,9 @@ class RecoveryReport:
     valid_components: int = 0
     invalid_components_removed: int = 0
     replayed_log_records: int = 0
+    #: WAL records dropped by torn-tail detection: the log is truncated at
+    #: the first record whose CRC32 no longer matches (a crash mid-append).
+    torn_records_dropped: int = 0
     schema_loaded: bool = False
     flushed_after_replay: bool = False
     removed_files: List[str] = field(default_factory=list)
@@ -107,8 +110,12 @@ def recover_index(index: LSMBTree, wal: Optional[WriteAheadLog] = None,
         loader(recovered[0].schema)
         report.schema_loaded = True
 
-    # Replay the surviving log records into the in-memory component.
+    # Replay the surviving log records into the in-memory component —
+    # after cutting the log at the first torn (checksum-failing) record,
+    # which models everything a real log would lose after a mid-append
+    # power cut.  Only records *behind* the tear replay.
     if wal is not None:
+        report.torn_records_dropped = wal.drop_torn_tail()
         for record in wal.replay(dataset=index.name, partition=index.partition):
             report.replayed_log_records += 1
             if record.record_type is LogRecordType.DELETE:

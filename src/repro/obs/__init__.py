@@ -17,7 +17,7 @@ One coherent layer replacing per-subsystem counter plumbing (ROADMAP items
   exported traces.
 """
 
-from .events import CARDINALITY_MISESTIMATE, emit_event
+from .events import CARDINALITY_MISESTIMATE, COMPONENT_QUARANTINED, emit_event
 from .metrics import (
     Counter,
     Gauge,
@@ -45,6 +45,7 @@ __all__ = [
     "TRACE_ENV_VAR",
     "emit_event",
     "CARDINALITY_MISESTIMATE",
+    "COMPONENT_QUARANTINED",
     "StatsDictMixin",
     "convert_value",
     "validate_trace",

@@ -28,6 +28,12 @@ logger = logging.getLogger("repro.obs")
 #: diverges from the measured one by more than 10x (ROADMAP item 5 feeder).
 CARDINALITY_MISESTIMATE = "cardinality_misestimate"
 
+#: Well-known event emitted the first time an LSM component fails a page
+#: checksum and is quarantined; queries touching it then raise
+#: :class:`~repro.errors.QuarantinedComponentError` instead of returning
+#: silently wrong rows.
+COMPONENT_QUARANTINED = "component_quarantined"
+
 
 def emit_event(name: str, level: int = logging.WARNING, **fields: Any) -> None:
     """Publish one structured event to the log, the tracer, and the registry."""

@@ -42,9 +42,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..config import env_int, env_str
+from ..config import env_float, env_int, env_str
 from ..core.dataset import Dataset
-from ..errors import QueryError
+from ..errors import QueryDeadlineError, QueryError
 from ..obs import CARDINALITY_MISESTIMATE, NULL_SPAN, StatsDictMixin, emit_event
 from ..obs import tracer as _tracer
 from .batch_compile import BatchQueryPlan
@@ -83,6 +83,10 @@ EXECUTION_MODE_ENV_VAR = "REPRO_EXECUTION_MODE"
 #: Environment variable overriding the default batch size; ``0`` disables
 #: batch execution entirely, ``1`` stress-tests the chunking logic.
 BATCH_SIZE_ENV_VAR = "REPRO_BATCH_SIZE"
+
+#: Environment variable setting a default per-query deadline in seconds; an
+#: explicit ``deadline=`` argument always wins.  Unset means no deadline.
+DEADLINE_ENV_VAR = "REPRO_QUERY_DEADLINE"
 
 #: Records per ColumnBatch when nothing overrides it.
 DEFAULT_BATCH_SIZE = 1024
@@ -394,6 +398,39 @@ class LimitCancellation:
             return False
 
 
+class _DeadlineGuard:
+    """Per-query deadline shared by every partition worker.
+
+    Cooperative cancellation in the same spirit as :class:`LimitCancellation`:
+    the pipeline checks the guard at row/batch boundaries, and the first
+    worker to notice expiry flips ``expired`` — a plain bool write (atomic
+    under the GIL, and this is advisory: a sibling that misses the flip just
+    hits its own clock check) — so its siblings fail fast instead of each
+    running out the full clock.
+    """
+
+    __slots__ = ("seconds", "deadline_at", "expired")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self.deadline_at = time.perf_counter() + seconds
+        self.expired = False
+
+    def check(self) -> None:
+        if self.expired or time.perf_counter() >= self.deadline_at:
+            self.expired = True
+            raise QueryDeadlineError(
+                f"query exceeded its {self.seconds:g}s deadline")
+
+    def guarded(self, source: Iterator, stride: int = 32) -> Iterator:
+        """Wrap a pipeline iterator, checking the clock every ``stride`` pulls
+        (batch pipelines pass ``stride=1`` — one pull is many rows)."""
+        for count, item in enumerate(source):
+            if count % stride == 0:
+                self.check()
+            yield item
+
+
 class QueryExecutor:
     """Executes :class:`~repro.query.plan.QuerySpec` objects against datasets."""
 
@@ -404,7 +441,8 @@ class QueryExecutor:
                  parallelism: Optional[int] = None,
                  analyze: bool = False,
                  execution_mode: Optional[Union[ExecutionMode, str]] = None,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 deadline: Optional[float] = None) -> None:
         self.optimizer = Optimizer(consolidate_field_access, pushdown_through_unnest)
         #: Drop buffer caches before running (used to make query benchmarks
         #: I/O-bound like the paper's cold runs).
@@ -428,6 +466,11 @@ class QueryExecutor:
         #: Records per ColumnBatch.  ``None`` defers to ``REPRO_BATCH_SIZE``,
         #: then to ``DEFAULT_BATCH_SIZE``; ``0`` disables batch execution.
         self.batch_size = batch_size
+        #: Per-query deadline in seconds; queries that exceed it raise
+        #: :class:`~repro.errors.QueryDeadlineError` cooperatively at
+        #: row/batch boundaries.  ``None`` defers to ``REPRO_QUERY_DEADLINE``,
+        #: then to no deadline; ``0`` expires immediately (tests).
+        self.deadline = deadline
 
     # ------------------------------------------------------------------ public API
 
@@ -484,12 +527,15 @@ class QueryExecutor:
                 and dataset.partition_count > 1):
             token = LimitCancellation(spec.limit, dataset.partition_count)
 
+        deadline = self._resolve_deadline()
+        guard = _DeadlineGuard(deadline) if deadline is not None else None
+
         outputs: List[Tuple[str, Any]] = [None] * dataset.partition_count
         if parallelism <= 1:
             for index, partition in enumerate(dataset.partitions):
                 outputs[index], partition_stats = self._run_partition(
                     index, partition, spec, access_plan, choice, token, instrument,
-                    batch_plan, batch_size)
+                    batch_plan, batch_size, guard)
                 stats.per_partition.append(partition_stats)
         else:
             with ThreadPoolExecutor(max_workers=parallelism,
@@ -499,11 +545,14 @@ class QueryExecutor:
                 # time), and the no-op path returns the method unchanged.
                 futures = [pool.submit(_tracer.wrap_context(self._run_partition),
                                        index, partition, spec, access_plan, choice,
-                                       token, instrument, batch_plan, batch_size)
+                                       token, instrument, batch_plan, batch_size,
+                                       guard)
                            for index, partition in enumerate(dataset.partitions)]
                 for index, future in enumerate(futures):
                     outputs[index], partition_stats = future.result()
                     stats.per_partition.append(partition_stats)
+        if guard is not None:
+            guard.check()
 
         coordinator_started = time.perf_counter()
         with _tracer.span("query.coordinator"):
@@ -600,6 +649,19 @@ class QueryExecutor:
             raise QueryError(f"batch size must be >= 0, got {size}")
         return size
 
+    def _resolve_deadline(self) -> Optional[float]:
+        seconds = self.deadline
+        if seconds is None:
+            try:
+                seconds = env_float(DEADLINE_ENV_VAR)
+            except ValueError as exc:
+                raise QueryError(str(exc))
+            if seconds is None:
+                return None
+        if seconds < 0:
+            raise QueryError(f"query deadline must be >= 0 seconds, got {seconds}")
+        return float(seconds)
+
     def _resolve_parallelism(self, dataset: Dataset) -> int:
         requested = self.parallelism
         if requested is None:
@@ -620,10 +682,13 @@ class QueryExecutor:
                        token: Optional[LimitCancellation],
                        instrument: bool = False,
                        batch_plan: Optional[BatchQueryPlan] = None,
-                       batch_size: int = 0):
+                       batch_size: int = 0,
+                       guard: Optional[_DeadlineGuard] = None):
         """One partition's full local pipeline (runs on a worker thread)."""
         partition_stats = PartitionStats(partition_id=partition.partition_id)
         partition_started = time.perf_counter()
+        if guard is not None:
+            guard.check()
         if token is not None and token.satisfied_before(index):
             partition_stats.cancelled = True
             partition_stats.seconds = time.perf_counter() - partition_started
@@ -639,6 +704,12 @@ class QueryExecutor:
                 else:
                     pipeline, scan, probes = self._local_pipeline(
                         partition, spec, access_plan, choice, instrument)
+                if guard is not None:
+                    # One pull is a whole ColumnBatch in batch mode, so the
+                    # clock is checked every pull there and every 32 rows in
+                    # row mode — the same cadence as LIMIT cancellation.
+                    pipeline = guard.guarded(
+                        pipeline, stride=1 if batch_plan is not None else 32)
                 if spec.is_aggregation:
                     if batch_plan is not None:
                         grouping = BatchGroupByOperator(pipeline, batch_plan.group_keys,

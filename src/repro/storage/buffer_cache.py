@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import BufferCacheFullError
+from ..faults import fire_fault
 from ..obs import MetricsRegistry, StatsDictMixin, get_registry
 from .file_manager import BaseFileManager
 
@@ -118,6 +119,7 @@ class BufferCache:
                 return frame.data
             self.stats.misses += 1
             self._misses.inc()
+        fire_fault("buffercache.miss")
         data = self.file_manager.read_page(file_name, page_no)
         with self._lock:
             frame = self._frames.get(key)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..config import DEVICE_PROFILES, DeviceKind
+from ..faults import fire_fault
 from ..obs import MetricsRegistry, StatsDictMixin, get_registry
 
 
@@ -126,6 +127,9 @@ class SimulatedStorageDevice:
     # -- recording -------------------------------------------------------------
 
     def record_read(self, nbytes: int, io_class: str = "data") -> None:
+        # Fault check precedes all accounting so an injected failure models
+        # an operation that never reached the device (nothing half-charged).
+        fire_fault("device.read")
         io_class = self._effective_class(io_class)
         with self._lock:
             self.stats.add_read(nbytes)
@@ -139,6 +143,7 @@ class SimulatedStorageDevice:
             time.sleep((nbytes / self.read_bandwidth + self.seek_latency) * self.throttle)
 
     def record_write(self, nbytes: int, io_class: str = "data") -> None:
+        fire_fault("device.write")
         io_class = self._effective_class(io_class)
         with self._lock:
             self.stats.add_write(nbytes)

@@ -22,9 +22,11 @@ Both backends charge every physical read/write to the
 from __future__ import annotations
 
 import os
+import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import PageNotFoundError, StorageError
+from ..errors import CorruptPageError, PageNotFoundError, StorageError
+from ..faults import corrupt_payload, fire_fault
 from .compression import Codec, NoneCodec, compress_page
 from .device import SimulatedStorageDevice
 from .laf import LookAsideFile
@@ -33,7 +35,8 @@ from .laf import LookAsideFile
 class _PageFileState:
     """Book-keeping shared by both backends for one open page file."""
 
-    __slots__ = ("name", "laf", "page_count", "uncompressed_bytes", "stored_bytes")
+    __slots__ = ("name", "laf", "page_count", "uncompressed_bytes", "stored_bytes",
+                 "checksums")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -41,6 +44,10 @@ class _PageFileState:
         self.page_count = 0
         self.uncompressed_bytes = 0
         self.stored_bytes = 0
+        #: CRC32 of each logical (uncompressed) page, keyed by page number;
+        #: verified on every read so bit rot and torn writes surface as
+        #: CorruptPageError instead of decoded garbage.
+        self.checksums: Dict[int, int] = {}
 
 
 class BaseFileManager:
@@ -52,6 +59,8 @@ class BaseFileManager:
         self.page_size = page_size
         self.codec = codec or NoneCodec()
         self._files: Dict[str, _PageFileState] = {}
+        self._page_checksum_failures = device.metrics.counter(
+            "checksum_failures_total", kind="page")
 
     # -- file lifecycle -----------------------------------------------------------
 
@@ -86,6 +95,7 @@ class BaseFileManager:
 
     def write_page(self, name: str, page_no: int, data: bytes) -> None:
         """Write one logical page (must be exactly ``page_size`` bytes)."""
+        fire_fault("file.write_page")
         if len(data) != self.page_size:
             raise StorageError(
                 f"page writes must be exactly {self.page_size} bytes, got {len(data)}"
@@ -119,6 +129,7 @@ class BaseFileManager:
             state.stored_bytes += len(payload) - old_length
             state.laf.add_entry(page_no, old_offset, len(payload))
             offset = old_offset
+        state.checksums[page_no] = zlib.crc32(data)
         self._backend_write(name, offset, payload)
         self.device.record_write(len(payload), io_class="data")
         if not isinstance(self.codec, NoneCodec):
@@ -136,8 +147,23 @@ class BaseFileManager:
         payload = self._backend_read(name, offset, length)
         self.device.record_read(length, io_class="data")
         if length == self.page_size:
-            return payload
-        return self.codec.decompress(payload, self.page_size)
+            page = payload
+        else:
+            try:
+                page = self.codec.decompress(payload, self.page_size)
+            except Exception as exc:
+                self._page_checksum_failures.inc()
+                raise CorruptPageError(
+                    f"page {page_no} of {name!r} failed to decompress: {exc}") from exc
+        # Fault injection corrupts the logical page *before* verification so
+        # the checksum path is exactly the one real bit rot would take.
+        page = corrupt_payload("file.read_page", page)
+        expected = state.checksums.get(page_no)
+        if expected is not None and zlib.crc32(page) != expected:
+            self._page_checksum_failures.inc()
+            raise CorruptPageError(
+                f"page {page_no} of {name!r} failed its CRC32 check")
+        return page
 
     # -- sizes -----------------------------------------------------------------------
 

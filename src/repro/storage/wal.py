@@ -20,15 +20,30 @@ from __future__ import annotations
 
 import enum
 import threading
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
 
 from ..errors import WALError
+from ..faults import corrupt_payload, fire_fault
 from ..obs import MetricsRegistry, get_registry
 from .device import SimulatedStorageDevice
 
 #: Fixed per-record header overhead charged to the device (type, LSN, sizes).
 _LOG_HEADER_BYTES = 28
+
+
+def _record_crc(record_type: "LogRecordType", dataset: str, partition: int,
+                key: Any, payload: Optional[bytes]) -> int:
+    """CRC32 over a record's logical content (LSN excluded, so the checksum
+    can be computed before the log lock assigns one)."""
+    crc = zlib.crc32(record_type.value.encode("utf-8"))
+    crc = zlib.crc32(dataset.encode("utf-8"), crc)
+    crc = zlib.crc32(str(partition).encode("utf-8"), crc)
+    crc = zlib.crc32(repr(key).encode("utf-8"), crc)
+    if payload is not None:
+        crc = zlib.crc32(payload, crc)
+    return crc
 
 
 class LogRecordType(enum.Enum):
@@ -49,6 +64,14 @@ class LogRecord:
     partition: int
     key: Any = None
     payload: Optional[bytes] = None
+    #: CRC32 of the logical content at append time; a mismatch later marks
+    #: the record as torn (see :meth:`WriteAheadLog.drop_torn_tail`).
+    crc: int = 0
+
+    def content_crc(self) -> int:
+        """Recompute the CRC32 of the record's current content."""
+        return _record_crc(self.record_type, self.dataset, self.partition,
+                           self.key, self.payload)
 
     @property
     def size_bytes(self) -> int:
@@ -70,6 +93,8 @@ class WriteAheadLog:
         metrics = metrics if metrics is not None else get_registry()
         self._appends_metric = metrics.counter("wal_records_appended")
         self._bytes_metric = metrics.counter("wal_bytes_written")
+        self._wal_checksum_failures = metrics.counter(
+            "checksum_failures_total", kind="wal")
         # Background LSM maintenance appends FLUSH markers and truncates from
         # flush-worker threads while partition writers keep appending: LSN
         # assignment and the record list are guarded so no record is lost and
@@ -80,15 +105,26 @@ class WriteAheadLog:
 
     def append(self, record_type: LogRecordType, dataset: str, partition: int,
                key: Any = None, payload: Optional[bytes] = None) -> LogRecord:
+        # The CRC covers the *original* content, and fault injection runs
+        # before anything mutates: a corrupt rule stores a record whose bytes
+        # no longer match its CRC (a torn record for recovery to drop), and
+        # an injected device/transient failure raises before the record is
+        # logged, so a failed append leaves no trace.
+        crc = _record_crc(record_type, dataset, partition, key, payload)
+        if payload:
+            payload = corrupt_payload("wal.append", payload)
+        else:
+            fire_fault("wal.append")
+        record = LogRecord(0, record_type, dataset, partition, key, payload, crc)
+        if self.device is not None:
+            self.device.record_write(record.size_bytes, io_class="log")
         with self._lock:
-            record = LogRecord(self._next_lsn, record_type, dataset, partition, key, payload)
+            record.lsn = self._next_lsn
             self._next_lsn += 1
             self._records.append(record)
             self.bytes_written += record.size_bytes
         self._appends_metric.inc()
         self._bytes_metric.inc(record.size_bytes)
-        if self.device is not None:
-            self.device.record_write(record.size_bytes, io_class="log")
         return record
 
     @property
@@ -102,6 +138,7 @@ class WriteAheadLog:
 
     def truncate(self, up_to_lsn: int) -> None:
         """Discard log records with ``lsn <= up_to_lsn`` (component flushed)."""
+        fire_fault("wal.truncate")
         with self._lock:
             if up_to_lsn < self._truncated_up_to:
                 raise WALError("cannot truncate backwards")
@@ -126,6 +163,7 @@ class WriteAheadLog:
                 return False  # markers are never replayed; drop them eagerly
             return record.lsn > up_to_lsn
 
+        fire_fault("wal.truncate")
         with self._lock:
             self._records = [record for record in self._records if survives(record)]
 
@@ -153,3 +191,22 @@ class WriteAheadLog:
         """Simulate losing the log tail in a crash (records with lsn > ``lsn``)."""
         with self._lock:
             self._records = [record for record in self._records if record.lsn <= lsn]
+
+    def drop_torn_tail(self) -> int:
+        """Truncate the log at the first record failing its CRC32 check.
+
+        A real append-only log that loses power mid-write ends with a torn
+        record; everything after it is unreadable garbage.  Recovery calls
+        this before replaying: the log is scanned in LSN order and cut at the
+        first mismatch.  Returns the number of records dropped.
+        """
+        with self._lock:
+            dropped = 0
+            for index, record in enumerate(self._records):
+                if record.crc != record.content_crc():
+                    dropped = len(self._records) - index
+                    del self._records[index:]
+                    break
+        if dropped:
+            self._wal_checksum_failures.inc(dropped)
+        return dropped

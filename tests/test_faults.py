@@ -1,0 +1,563 @@
+"""Fault-injection framework + storage/maintenance hardening.
+
+The contract pinned down here:
+
+* the ``REPRO_FAULTS`` spec grammar and the code API configure the same
+  deterministic, seedable rules, and every injection point is discoverable;
+* page and WAL checksums turn injected corruption into typed
+  ``CorruptPageError`` — never silently wrong bytes;
+* transient background failures are retried with backoff inside the
+  scheduler's budget, the failure latch is explicit (nothing clears it but
+  ``clear_failure``), and ``Dataset.resume_maintenance`` requeues the work
+  a latched failure orphaned;
+* a component that fails its checksum is quarantined: queries raise
+  ``QuarantinedComponentError`` instead of returning partial rows, and the
+  ``component_quarantined`` event + metrics flow through ``repro.obs``;
+* queries get a cooperative deadline (``REPRO_QUERY_DEADLINE``).
+"""
+
+import threading
+
+import pytest
+
+from repro import Dataset, StorageFormat
+from repro.config import env_str
+from repro.errors import (
+    CorruptPageError,
+    FaultSpecError,
+    PermanentIOError,
+    QuarantinedComponentError,
+    QueryDeadlineError,
+    QueryError,
+    SchedulerError,
+    TransientIOError,
+)
+from repro.faults import (
+    FAULT_POINTS,
+    FAULTS_ENV_VAR,
+    FaultInjector,
+    FaultRule,
+    fault_points,
+    get_injector,
+    parse_spec,
+)
+from repro.faults.points import is_registered
+from repro.lsm import LSMBTree, LSMIOScheduler, NoMergePolicy
+from repro.obs import get_registry
+from repro.query import QueryExecutor
+from repro.query.executor import DEADLINE_ENV_VAR
+from repro.storage import BufferCache, InMemoryFileManager, SimulatedStorageDevice
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+PAGE_SIZE = 2048
+
+
+@pytest.fixture(autouse=True)
+def _isolated_injector():
+    """Each test starts from an empty global injector; afterwards the
+    ``REPRO_FAULTS`` env spec (the CI faulted leg) is restored."""
+    injector = get_injector()
+    injector.clear()
+    yield injector
+    injector.clear()
+    spec = env_str(FAULTS_ENV_VAR)
+    if spec:
+        injector.load_spec(spec)
+
+
+def _cache(capacity=512):
+    device = SimulatedStorageDevice()
+    manager = InMemoryFileManager(device, PAGE_SIZE)
+    return device, manager, BufferCache(manager, capacity)
+
+
+def _index(cache, **overrides):
+    defaults = dict(name="ds", partition=0, buffer_cache=cache,
+                    memory_budget=1 << 20, merge_policy=NoMergePolicy())
+    defaults.update(overrides)
+    return LSMBTree(**defaults)
+
+
+def _counter_value(name, **labels):
+    return get_registry().counter(name, **labels).value
+
+
+# ---------------------------------------------------------------------------
+# spec grammar + rule validation
+# ---------------------------------------------------------------------------
+
+class TestSpecGrammar:
+    def test_parse_multi_rule_spec(self):
+        parsed = parse_spec("device.read:p=0.25:seed=7;"
+                            "wal.append:nth=3:error=corrupt:times=2")
+        assert parsed == [
+            ("device.read", {"probability": 0.25, "seed": 7}),
+            ("wal.append", {"nth": 3, "error": "corrupt", "times": 2}),
+        ]
+
+    def test_empty_chunks_skipped(self):
+        assert parse_spec(" ; ;") == []
+
+    @pytest.mark.parametrize("spec", [
+        "device.read:p",               # no '='
+        "device.read:p=",              # empty value
+        "device.read:p=abc",           # non-numeric
+        "device.read:nth=x",
+        "device.read:p=0.1:bogus=1",   # unknown key
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_spec(spec)
+
+    def test_load_spec_applies_rules(self):
+        injector = FaultInjector()
+        rules = injector.load_spec("device.read:nth=1;device.write:p=0.5:seed=3")
+        assert len(rules) == 2
+        assert injector.active
+        described = injector.rules()
+        assert any("device.read" in rule for rule in described)
+        assert any("seed=3" in rule for rule in described)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(point="no.such.point", nth=1),
+        dict(point="device.read"),                      # no trigger
+        dict(point="device.read", nth=1, probability=0.5),  # both triggers
+        dict(point="device.read", probability=1.5),
+        dict(point="device.read", nth=0),
+        dict(point="device.read", nth=1, error="weird"),
+        dict(point="device.read", nth=1, times=0),
+    ])
+    def test_invalid_rules_rejected(self, kwargs):
+        with pytest.raises(FaultSpecError):
+            FaultRule(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# determinism + discoverability
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def _schedule(self, seed, hits=200):
+        injector = FaultInjector()
+        injector.add_rule("device.read", probability=0.3, seed=seed)
+        fired = []
+        for ordinal in range(hits):
+            try:
+                injector.fire("device.read")
+            except TransientIOError:
+                fired.append(ordinal)
+        return fired
+
+    def test_same_seed_same_fault_schedule(self):
+        first = self._schedule(seed=42)
+        second = self._schedule(seed=42)
+        assert first == second
+        assert first  # 200 hits at p=0.3 must fire at least once
+
+    def test_different_seeds_diverge(self):
+        assert self._schedule(seed=1) != self._schedule(seed=2)
+
+    def test_default_seed_is_deterministic(self):
+        injector = FaultInjector()
+        rule = injector.add_rule("device.read", probability=0.5)
+        again = FaultInjector().add_rule("device.read", probability=0.5)
+        assert rule.seed == again.seed
+
+    def test_nth_rule_fires_on_every_nth_hit(self):
+        injector = FaultInjector()
+        injector.add_rule("wal.truncate", nth=3)
+        outcomes = []
+        for _ in range(9):
+            try:
+                injector.fire("wal.truncate")
+                outcomes.append(False)
+            except TransientIOError:
+                outcomes.append(True)
+        assert outcomes == [False, False, True] * 3
+
+    def test_times_caps_total_firings(self):
+        injector = FaultInjector()
+        injector.add_rule("device.write", nth=1, times=2)
+        raised = 0
+        for _ in range(10):
+            try:
+                injector.fire("device.write")
+            except TransientIOError:
+                raised += 1
+        assert raised == 2
+
+    def test_registry_is_discoverable(self):
+        names = {point.name for point in fault_points()}
+        assert names == {
+            "device.read", "device.write", "file.read_page", "file.write_page",
+            "buffercache.miss", "wal.append", "wal.truncate",
+            "scheduler.flush", "scheduler.merge",
+        }
+        assert all(point.description for point in FAULT_POINTS)
+        assert is_registered("device.read")
+        assert not is_registered("device.teleport")
+
+    def test_hit_counts_track_consultations(self):
+        injector = FaultInjector()
+        injector.add_rule("device.read", probability=0.0)
+        for _ in range(5):
+            injector.fire("device.read")
+        assert injector.hit_counts() == {"device.read": 5}
+
+    def test_error_classes_map_to_types(self):
+        for error, exc_type in [("transient", TransientIOError),
+                                ("permanent", PermanentIOError),
+                                ("corrupt", CorruptPageError)]:
+            injector = FaultInjector()
+            injector.add_rule("device.read", nth=1, error=error)
+            with pytest.raises(exc_type):
+                injector.fire("device.read")
+
+    def test_faults_injected_metric(self):
+        before = _counter_value("faults_injected_total", point="device.read")
+        injector = get_injector()
+        injector.add_rule("device.read", nth=1, times=3)
+        raised = 0
+        for _ in range(5):
+            try:
+                injector.fire("device.read")
+            except TransientIOError:
+                raised += 1
+        assert raised == 3
+        after = _counter_value("faults_injected_total", point="device.read")
+        assert after == before + 3
+
+
+# ---------------------------------------------------------------------------
+# checksums: pages and WAL records
+# ---------------------------------------------------------------------------
+
+class TestChecksums:
+    def test_page_corruption_caught_by_crc(self):
+        _, manager, _ = _cache()
+        manager.create_file("f")
+        manager.write_page("f", 0, b"a" * PAGE_SIZE)
+        assert manager.read_page("f", 0) == b"a" * PAGE_SIZE
+        before = _counter_value("checksum_failures_total", kind="page")
+        get_injector().add_rule("file.read_page", nth=1, error="corrupt", times=1)
+        with pytest.raises(CorruptPageError):
+            manager.read_page("f", 0)
+        assert _counter_value("checksum_failures_total", kind="page") == before + 1
+        # The stored page is intact; with the rule exhausted reads succeed.
+        assert manager.read_page("f", 0) == b"a" * PAGE_SIZE
+
+    def test_injected_write_failure_charges_nothing(self):
+        device, manager, _ = _cache()
+        manager.create_file("f")
+        written_before = device.stats.bytes_written
+        get_injector().add_rule("device.write", nth=1, times=1)
+        with pytest.raises(TransientIOError):
+            manager.write_page("f", 0, b"b" * PAGE_SIZE)
+        assert device.stats.bytes_written == written_before
+
+    def test_wal_records_carry_content_crc(self):
+        wal = WriteAheadLog()
+        record = wal.append(LogRecordType.INSERT, "ds", 0, key=1, payload=b"row")
+        assert record.crc == record.content_crc()
+
+    def test_torn_tail_detection_truncates_at_first_bad_record(self):
+        wal = WriteAheadLog()
+        for key in range(6):
+            wal.append(LogRecordType.INSERT, "ds", 0, key=key, payload=b"p%d" % key)
+        # Tear record 3 (a crash mid-write): everything from it on is lost.
+        wal._records[3].payload = b"garbage"
+        before = _counter_value("checksum_failures_total", kind="wal")
+        assert wal.drop_torn_tail() == 3
+        assert _counter_value("checksum_failures_total", kind="wal") == before + 3
+        surviving = [record.key for record in wal.replay()]
+        assert surviving == [0, 1, 2]
+        assert wal.drop_torn_tail() == 0  # idempotent on an intact log
+
+    def test_injected_wal_corruption_is_a_torn_record(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, key=0, payload=b"ok")
+        get_injector().add_rule("wal.append", nth=1, error="corrupt", times=1)
+        wal.append(LogRecordType.INSERT, "ds", 0, key=1, payload=b"will-tear")
+        wal.append(LogRecordType.INSERT, "ds", 0, key=2, payload=b"after")
+        assert wal.drop_torn_tail() == 2
+        assert [record.key for record in wal.replay()] == [0]
+
+    def test_failed_append_leaves_no_trace(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, key=0, payload=b"ok")
+        get_injector().add_rule("wal.append", nth=1, times=1)
+        with pytest.raises(TransientIOError):
+            wal.append(LogRecordType.INSERT, "ds", 0, key=1, payload=b"lost")
+        assert len(wal) == 1
+        assert wal.last_lsn == 1
+        follow_up = wal.append(LogRecordType.INSERT, "ds", 0, key=2, payload=b"ok2")
+        assert follow_up.lsn == 2  # no LSN hole
+
+
+# ---------------------------------------------------------------------------
+# scheduler: retry/backoff + the explicit failure latch
+# ---------------------------------------------------------------------------
+
+class TestSchedulerResilience:
+    def test_transient_failures_retried_within_budget(self):
+        before = _counter_value("maintenance_retries_total", kind="flush")
+        get_injector().add_rule("scheduler.flush", nth=1, times=2)
+        scheduler = LSMIOScheduler(retry_budget=4, backoff_base=0.0001)
+        ran = []
+        scheduler.submit_flush(lambda: ran.append(1))
+        scheduler.close()  # drains; no failure may surface
+        assert ran == [1]
+        assert scheduler.stats.flush_retries == 2
+        assert scheduler.stats.flushes_completed == 1
+        assert _counter_value("maintenance_retries_total", kind="flush") == before + 2
+
+    def test_budget_exhaustion_latches_failure(self):
+        get_injector().add_rule("scheduler.flush", nth=1)  # always fire
+        scheduler = LSMIOScheduler(retry_budget=2, backoff_base=0.0001)
+        scheduler.submit_flush(lambda: None)
+        with pytest.raises(SchedulerError):
+            scheduler.drain()
+        # The latch is sticky: nothing clears it implicitly.
+        with pytest.raises(SchedulerError):
+            scheduler.raise_if_failed()
+        failure = scheduler.clear_failure()
+        assert isinstance(failure, TransientIOError)
+        scheduler.raise_if_failed()  # clean now
+        # After clearing, the scheduler accepts and completes new work.
+        get_injector().clear()
+        done = []
+        scheduler.submit_flush(lambda: done.append(1))
+        scheduler.close()
+        assert done == [1]
+
+    def test_permanent_failures_are_not_retried(self):
+        get_injector().add_rule("scheduler.flush", nth=1, error="permanent")
+        scheduler = LSMIOScheduler(retry_budget=5, backoff_base=0.0001)
+        scheduler.submit_flush(lambda: None)
+        with pytest.raises(SchedulerError) as excinfo:
+            scheduler.drain()
+        assert isinstance(excinfo.value.__cause__, PermanentIOError)
+        assert scheduler.stats.flush_retries == 0
+        scheduler.clear_failure()
+        scheduler.close()
+
+    def test_zero_budget_surfaces_first_transient(self):
+        get_injector().add_rule("scheduler.flush", nth=1, times=1)
+        scheduler = LSMIOScheduler(retry_budget=0)
+        scheduler.submit_flush(lambda: None)
+        with pytest.raises(SchedulerError):
+            scheduler.drain()
+        scheduler.clear_failure()
+        scheduler.close()
+
+    def test_concurrent_raise_if_failed_is_safe(self):
+        """Regression: raise_if_failed reads the latch under the lock, so
+        concurrent failers/readers never race on a half-written latch."""
+        scheduler = LSMIOScheduler(max_flush_workers=2, retry_budget=0)
+        get_injector().add_rule("scheduler.flush", nth=2)  # some tasks fail
+        for _ in range(8):
+            scheduler.submit_flush(lambda: None)
+        errors = []
+
+        def poll():
+            for _ in range(100):
+                try:
+                    scheduler.raise_if_failed()
+                except SchedulerError:
+                    pass
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=poll) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        with pytest.raises(SchedulerError):
+            scheduler.close()
+
+    def test_retry_budget_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BUDGET", "7")
+        scheduler = LSMIOScheduler()
+        assert scheduler.retry_budget == 7
+        scheduler.close()
+        monkeypatch.setenv("REPRO_RETRY_BUDGET", "junk")
+        with pytest.raises(SchedulerError):
+            LSMIOScheduler()
+        monkeypatch.delenv("REPRO_RETRY_BUDGET")
+        scheduler = LSMIOScheduler(retry_budget=0)
+        assert scheduler.retry_budget == 0
+        scheduler.close()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: ingest + flush survive transient device faults
+# ---------------------------------------------------------------------------
+
+class TestFlushRetrySafety:
+    def test_background_flush_retries_through_device_faults(self):
+        get_injector().add_rule("scheduler.flush", probability=0.5, seed=11)
+        _, _, cache = _cache()
+        scheduler = LSMIOScheduler(retry_budget=10, backoff_base=0.0001)
+        index = _index(cache, scheduler=scheduler, memory_budget=4096,
+                       max_sealed_memtables=4)
+        for key in range(200):
+            index.insert(key, {"id": key}, (b"%06d" % key) * 16)
+        index.drain_maintenance()
+        scheduler.close()
+        assert index.exact_count() == 200
+        assert sorted(result.key for result in index.scan()) == list(range(200))
+
+    def test_flush_rollback_preserves_compactor_schema(self):
+        """A transient flush failure must restore the tuple compactor's
+        schema snapshot, so the retry infers from the same starting state."""
+        dataset = Dataset.create("rollback_schema", StorageFormat.INFERRED)
+        dataset.insert({"id": 1, "name": "a"})
+        get_injector().add_rule("scheduler.flush", nth=1, times=1)
+        # Synchronous flush path: the fault fires inside the scheduler only
+        # for background mode, so drive the index flush directly instead.
+        partition = dataset.partitions[0]
+        flush_count_before = partition.compactor.flush_count
+        get_injector().clear()
+        get_injector().add_rule("device.write", nth=1, times=1)
+        with pytest.raises(TransientIOError):
+            partition.index.flush()
+        assert partition.compactor.flush_count == flush_count_before
+        assert partition.index.component_count() == 0
+        # Rule exhausted: the retried flush succeeds and compacts normally.
+        partition.index.flush()
+        assert partition.compactor.flush_count == flush_count_before + 1
+        assert partition.index.component_count() == 1
+        assert dataset.get(1) == {"id": 1, "name": "a"}
+        dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# quarantine: corrupt components produce typed errors, never wrong rows
+# ---------------------------------------------------------------------------
+
+class TestQuarantine:
+    def _flushed_index(self, rows=30):
+        _, _, cache = _cache(capacity=4)  # tiny cache: reads go to disk
+        index = _index(cache)
+        for key in range(rows):
+            index.insert(key, {"id": key}, (b"%06d" % key) * 8)
+        index.flush()
+        return index, cache
+
+    def test_corrupt_component_quarantined_on_search(self):
+        index, cache = self._flushed_index()
+        cache.clear()
+        events_before = _counter_value("events_total", event="component_quarantined")
+        get_injector().add_rule("file.read_page", nth=1, error="corrupt", times=1)
+        with pytest.raises(QuarantinedComponentError) as excinfo:
+            index.search(7)
+        assert excinfo.value.component_name
+        assert isinstance(excinfo.value.__cause__, CorruptPageError)
+        assert _counter_value(
+            "events_total", event="component_quarantined") == events_before + 1
+        # Fail-fast forever after, even with injection over — and the event
+        # is emitted only once per component.
+        with pytest.raises(QuarantinedComponentError):
+            index.search(3)
+        with pytest.raises(QuarantinedComponentError):
+            list(index.scan())
+        assert _counter_value(
+            "events_total", event="component_quarantined") == events_before + 1
+        assert len(index.quarantined_components()) == 1
+
+    def test_scan_hits_quarantine_too(self):
+        index, cache = self._flushed_index()
+        cache.clear()
+        get_injector().add_rule("file.read_page", nth=1, error="corrupt", times=1)
+        with pytest.raises(QuarantinedComponentError):
+            list(index.scan())
+
+    def test_memtable_reads_survive_quarantine(self):
+        index, cache = self._flushed_index()
+        cache.clear()
+        get_injector().add_rule("file.read_page", nth=1, error="corrupt", times=1)
+        with pytest.raises(QuarantinedComponentError):
+            index.search(0)
+        # New, unflushed data never touches the quarantined component.
+        index.insert(1000, {"id": 1000}, b"fresh" * 8)
+        assert index.search(1000).record == {"id": 1000}
+
+
+# ---------------------------------------------------------------------------
+# query deadline
+# ---------------------------------------------------------------------------
+
+class TestQueryDeadline:
+    def _dataset(self, partitions=2):
+        dataset = Dataset.create("deadline_ds", StorageFormat.OPEN,
+                                 partitions=partitions)
+        dataset.insert_all({"id": key, "val": key % 7} for key in range(300))
+        return dataset
+
+    def test_zero_deadline_expires_immediately(self):
+        dataset = self._dataset()
+        executor = QueryExecutor(deadline=0)
+        with pytest.raises(QueryDeadlineError):
+            dataset.query("SELECT d.val AS val FROM deadline_ds AS d",
+                          executor=executor)
+        dataset.close()
+
+    def test_generous_deadline_passes(self):
+        dataset = self._dataset()
+        executor = QueryExecutor(deadline=60.0)
+        rows = dataset.query(
+            "SELECT d.id AS id FROM deadline_ds AS d WHERE d.val = 3",
+            executor=executor)
+        assert sorted(row["id"] for row in rows) == [
+            key for key in range(300) if key % 7 == 3]
+        dataset.close()
+
+    def test_deadline_cancels_parallel_workers(self):
+        dataset = self._dataset(partitions=4)
+        executor = QueryExecutor(deadline=0, parallelism=4)
+        with pytest.raises(QueryDeadlineError):
+            dataset.query("SELECT d.id AS id FROM deadline_ds AS d",
+                          executor=executor)
+        dataset.close()
+
+    def test_env_knob(self, monkeypatch):
+        dataset = self._dataset(partitions=1)
+        monkeypatch.setenv(DEADLINE_ENV_VAR, "0")
+        with pytest.raises(QueryDeadlineError):
+            dataset.query("SELECT d.id AS id FROM deadline_ds AS d")
+        # An explicit executor argument wins over the environment.
+        rows = dataset.query("SELECT d.id AS id FROM deadline_ds AS d",
+                             executor=QueryExecutor(deadline=60.0))
+        assert len(rows) == 300
+        monkeypatch.setenv(DEADLINE_ENV_VAR, "junk")
+        with pytest.raises(QueryError):
+            dataset.query("SELECT d.id AS id FROM deadline_ds AS d")
+        monkeypatch.setenv(DEADLINE_ENV_VAR, "-1")
+        with pytest.raises(QueryError):
+            dataset.query("SELECT d.id AS id FROM deadline_ds AS d")
+        dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# recovery integration: torn WAL tail + resume after latched failure
+# ---------------------------------------------------------------------------
+
+class TestRecoveryIntegration:
+    def test_resume_maintenance_clears_latch_and_requeues(self):
+        _, _, cache = _cache()
+        scheduler = LSMIOScheduler(retry_budget=0, backoff_base=0.0001)
+        index = _index(cache, scheduler=scheduler, memory_budget=4096,
+                       max_sealed_memtables=8)
+        get_injector().add_rule("scheduler.flush", nth=1, times=1)
+        for key in range(120):
+            index.insert(key, {"id": key}, (b"%06d" % key) * 16)
+        with pytest.raises(SchedulerError):
+            index.drain_maintenance()
+        assert scheduler.clear_failure() is not None
+        resubmitted = index.resume_maintenance()
+        assert resubmitted >= 1
+        index.drain_maintenance()
+        assert sorted(result.key for result in index.scan()) == list(range(120))
+        scheduler.close()
