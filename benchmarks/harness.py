@@ -255,6 +255,89 @@ def batch_row_comparison(workload: str, query_names: Sequence[str],
     return rows, measurements
 
 
+def repeated_query_caching(workload: str, query_names: Sequence[str],
+                           format_name: str = "inferred",
+                           repeats: int = 3) -> Tuple[List[Dict[str, Any]], Dict]:
+    """Cold-vs-warm repeated execution of the same SQL++ texts (PR 10 caches).
+
+    The cold run starts from nothing reusable — plans invalidated, buffer
+    *and* column-slice caches dropped — and each warm repeat goes through
+    ``Dataset.query(text)`` again, so the plan cache must serve the compiled
+    plan and the column-slice cache the decoded scan columns.  Returns
+    printable rows plus, per query: cold/warm wall seconds (full call,
+    including parse→bind→optimize on the cold side), the speedup, device
+    bytes read per run, and the plan/column cache hit counters observed
+    across the warm repeats.  Row equality between the cold and every warm
+    run is asserted here.
+    """
+    from repro.obs import metrics_delta
+
+    built = build_dataset(workload, format_name)
+    generator = GENERATORS[workload]
+    dataset = built.dataset
+    rows: List[Dict[str, Any]] = []
+    measurements: Dict[str, Dict[str, Any]] = {}
+    for query_name in query_names:
+        text = generator.SQLPP[query_name]
+        dataset.invalidate_plans()
+        built.environment.drop_caches()
+        started = time.perf_counter()
+        cold = dataset.query(text)
+        cold_seconds = time.perf_counter() - started
+        before = dataset.metrics.snapshot()
+        best = None
+        warm = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            warm = dataset.query(text)
+            seconds = time.perf_counter() - started
+            best = seconds if best is None else min(best, seconds)
+            shape_check(f"{workload} {query_name}: warm-cache rows identical to cold run",
+                        warm.rows == cold.rows)
+        counters = metrics_delta(dataset.metrics.snapshot(), before).get("counters", {})
+        speedup = (cold_seconds / best) if best else float("inf")
+        measurements[query_name] = {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": best,
+            "speedup": speedup,
+            "cold_bytes": cold.stats.bytes_read,
+            "warm_bytes": warm.stats.bytes_read,
+            "plan_cache_hits": counters.get("plan_cache_hits", 0),
+            "column_cache_hits": counters.get("column_cache_hits", 0),
+            "plan_source": warm.stats.plan_source,
+        }
+        rows.append({
+            "Query": query_name,
+            "Cold (s)": cold_seconds,
+            "Warm best (s)": best,
+            "Speedup": speedup,
+            "Cold bytes": cold.stats.bytes_read,
+            "Warm bytes": warm.stats.bytes_read,
+            "Plan": warm.stats.plan_source,
+        })
+    return rows, measurements
+
+
+def check_warm_cache_speedup(workload: str, measurements: Dict, queries: Iterable[str],
+                             min_speedup: float) -> None:
+    """Warm repeats must beat the cold run and read strictly fewer device bytes."""
+    for query_name in queries:
+        measurement = measurements[query_name]
+        shape_check(f"{workload} {query_name}: warm repeat hits the plan cache "
+                    f"(source: {measurement['plan_source']})",
+                    measurement["plan_source"] == "cache"
+                    and measurement["plan_cache_hits"] > 0)
+        shape_check(f"{workload} {query_name}: warm repeat hits the column-slice "
+                    f"cache ({measurement['column_cache_hits']} hits)",
+                    measurement["column_cache_hits"] > 0)
+        shape_check(f"{workload} {query_name}: warm run reads strictly fewer device "
+                    f"bytes ({measurement['warm_bytes']} vs {measurement['cold_bytes']})",
+                    measurement["warm_bytes"] < measurement["cold_bytes"])
+        shape_check(f"{workload} {query_name}: warm execution is >= {min_speedup:.1f}x "
+                    f"faster than cold (measured {measurement['speedup']:.2f}x)",
+                    measurement["speedup"] >= min_speedup)
+
+
 def check_batch_engages(workload: str, measurements: Dict,
                         queries: Iterable[str]) -> None:
     """The batch planner must accept these queries (no silent row fallback)."""

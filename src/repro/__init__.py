@@ -45,7 +45,13 @@ from .config import (
     StorageConfig,
     StorageFormat,
 )
-from .core import Dataset, Partition, StorageEnvironment, TupleCompactor
+from .cache import (
+    COLUMN_CACHE_BYTES_ENV_VAR,
+    ColumnSliceCache,
+    PLAN_CACHE_ENV_VAR,
+    PlanCache,
+)
+from .core import Dataset, Partition, PreparedStatement, StorageEnvironment, TupleCompactor
 from .errors import (
     CorruptPageError,
     FaultSpecError,
@@ -93,8 +99,13 @@ __all__ = [
     "ClusterConfig",
     "Dataset",
     "Partition",
+    "PreparedStatement",
     "StorageEnvironment",
     "TupleCompactor",
+    "PlanCache",
+    "ColumnSliceCache",
+    "PLAN_CACHE_ENV_VAR",
+    "COLUMN_CACHE_BYTES_ENV_VAR",
     "InferredSchema",
     "ReproError",
     "SchedulerError",

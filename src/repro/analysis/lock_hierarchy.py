@@ -80,6 +80,12 @@ _DECLS: Tuple[LockDecl, ...] = (
                  "injected raise happens after release"),
     LockDecl("LimitCancellation", "_lock", 30, "lock", "query/executor.py",
              doc="guards the cross-partition row-budget counter for LIMIT pushdown"),
+    LockDecl("PlanCache", "_lock", 26, "lock", "cache/plan_cache.py",
+             doc="guards the physical-plan LRU map; plan compilation and "
+                 "metric updates run outside it"),
+    LockDecl("ColumnSliceCache", "_lock", 25, "lock", "cache/column_cache.py",
+             doc="guards the slice-chunk LRU map and byte accounting; "
+                 "decode work and metric updates run outside it"),
     LockDecl("Tracer", "_lock", 20, "lock", "obs/tracing.py",
              doc="guards span buffers and tracer enable state"),
     LockDecl("Tracer", "_export_lock", 15, "lock", "obs/tracing.py",

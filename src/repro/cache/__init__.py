@@ -1,0 +1,44 @@
+"""Query-level reuse caches: physical plans and decoded column slices.
+
+Two bounded LRU layers sit above the page-level
+:class:`~repro.storage.BufferCache` (ROADMAP item 1's prepared-statement
+front door, and the decode-side reuse the paper's columnar layout makes
+profitable):
+
+* :class:`PlanCache` — per-dataset physical-plan cache keyed by normalized
+  SQL++ text plus the dataset's reuse epoch, so ``Dataset.prepare`` /
+  repeated ``Dataset.query(text)`` skip parse → bind → optimize entirely.
+  Any ``CREATE INDEX``, component lifecycle event (flush/merge/quarantine,
+  which is also when per-component ``FieldStatistics`` change), or explicit
+  ``invalidate_plans()`` bumps the epoch and strands stale entries.
+* :class:`ColumnSliceCache` — per-environment cache of decoded column
+  slices keyed ``(component file, path set, chunk index)`` with
+  byte-accounted LRU eviction, invalidated through the LSM lifecycle
+  (component drops and quarantine events evict eagerly; immutable
+  components plus never-reused file names make stale reads structurally
+  impossible).
+
+Both publish hit/miss/eviction metrics into the shared registry, fire the
+``cache.lookup`` / ``cache.store`` fault points (degrading to a miss /
+skipped store under injected faults, so chaos runs keep row parity), and
+hold locks declared in :mod:`repro.analysis.lock_hierarchy`.
+"""
+
+from .column_cache import (COLUMN_CACHE_BYTES_ENV_VAR, ColumnSliceCache,
+                           SliceScanStats, cached_component_scan,
+                           column_cache_budget)
+from .plan_cache import (PLAN_CACHE_ENV_VAR, PhysicalPlan, PlanCache,
+                         normalize_statement, plan_cache_capacity)
+
+__all__ = [
+    "COLUMN_CACHE_BYTES_ENV_VAR",
+    "ColumnSliceCache",
+    "PLAN_CACHE_ENV_VAR",
+    "PhysicalPlan",
+    "PlanCache",
+    "SliceScanStats",
+    "cached_component_scan",
+    "column_cache_budget",
+    "normalize_statement",
+    "plan_cache_capacity",
+]

@@ -1,0 +1,145 @@
+"""Bounded LRU cache of compiled physical plans (prepared statements).
+
+``Dataset.query(text)`` historically re-lexed, re-parsed, re-bound, and
+re-optimized the SQL++ text on every call.  This cache memoizes the result
+of that whole front half — the effective :class:`~repro.query.plan.QuerySpec`
+after rewrites, the optimizer's access plan, the cost-based access-path
+choice, and the compiled batch plan — as one :class:`PhysicalPlan` keyed by
+
+* the *normalized* statement text (whitespace collapsed — the cheapest
+  canonicalization that still unifies reformatted copies of one query),
+* the dataset's **reuse epoch** (schema/index epoch plus every partition's
+  LSM structure version — flush, merge, ``CREATE INDEX``, bulk load, and
+  quarantine all bump it, and component swaps are exactly when per-component
+  ``FieldStatistics`` change, so a stats refresh re-optimizes too), and
+* the executor's plan-relevant knobs (optimizer flags, access-path policy,
+  execution mode, batch sizing), so differently-configured executors never
+  share entries.
+
+Entries are never invalidated in place: a bumped epoch simply stops
+matching, and the stale entries age out of the LRU.  Capacity comes from
+the ``REPRO_PLAN_CACHE`` knob (default 64 entries; ``0`` disables caching
+entirely).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+from ..config import env_int
+from ..errors import CorruptPageError, PermanentIOError, TransientIOError
+from ..faults import fire_fault
+from ..obs import MetricsRegistry, get_registry
+
+#: Environment variable bounding the plan cache (entries per dataset).
+#: ``0`` disables plan caching; unset/empty means the default capacity.
+PLAN_CACHE_ENV_VAR = "REPRO_PLAN_CACHE"
+
+#: Entries per dataset when the knob is unset.
+DEFAULT_PLAN_CACHE_CAPACITY = 64
+
+
+def plan_cache_capacity() -> int:
+    """Resolved plan-cache capacity (``REPRO_PLAN_CACHE``, floor 0)."""
+    value = env_int(PLAN_CACHE_ENV_VAR)
+    if value is None:
+        return DEFAULT_PLAN_CACHE_CAPACITY
+    return max(0, value)
+
+
+def normalize_statement(text: str) -> str:
+    """Canonical cache-key form of a SQL++ statement (whitespace collapsed)."""
+    return " ".join(text.split())
+
+
+@dataclass
+class PhysicalPlan:
+    """Everything the executor needs downstream of parse → bind → optimize.
+
+    Fields are deliberately loosely typed: this module sits below
+    :mod:`repro.query` in the import graph, and the executor is the only
+    producer/consumer of the payload.
+    """
+
+    #: Effective :class:`~repro.query.plan.QuerySpec` (rewrites applied).
+    spec: Any
+    #: The optimizer's :class:`~repro.query.optimizer.AccessPlan`.
+    access_plan: Any
+    #: Cost-based :class:`~repro.query.optimizer.AccessPathChoice`.
+    choice: Any
+    #: Compiled :class:`~repro.query.batch_compile.BatchQueryPlan`, or None.
+    batch_plan: Any
+    #: Why batch compilation fell back to the row pipeline (None = batch ran).
+    fallback_reason: Optional[str] = None
+
+
+class PlanCache:
+    """Thread-safe LRU of :class:`PhysicalPlan` entries for one dataset."""
+
+    def __init__(self, capacity: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.capacity = plan_cache_capacity() if capacity is None else max(0, capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, PhysicalPlan]" = OrderedDict()  # guarded-by: _lock
+        metrics = metrics if metrics is not None else get_registry()
+        self._hits = metrics.counter("plan_cache_hits")
+        self._misses = metrics.counter("plan_cache_misses")
+        self._evictions = metrics.counter("plan_cache_evictions")
+        self._entries_gauge = metrics.gauge("plan_cache_entries")
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[PhysicalPlan]:
+        """The cached plan for ``key``, or None (disabled / miss / fault)."""
+        if not self.enabled:
+            return None
+        try:
+            fire_fault("cache.lookup")
+        except (TransientIOError, PermanentIOError, CorruptPageError):
+            # Degrade to a miss: the caller re-plans from scratch, so an
+            # injected lookup fault costs latency, never correctness.
+            self._misses.inc()
+            return None
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+        if plan is None:
+            self._misses.inc()
+        else:
+            self._hits.inc()
+        return plan
+
+    def put(self, key: Hashable, plan: PhysicalPlan) -> None:
+        """Insert/refresh ``key``, evicting least-recently-used overflow."""
+        if not self.enabled:
+            return
+        try:
+            fire_fault("cache.store")
+        except (TransientIOError, PermanentIOError, CorruptPageError):
+            return  # skipped store: the next execution re-plans and retries
+        evicted = 0
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            self._evictions.inc(evicted)
+        self._entries_gauge.set(size)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+        self._entries_gauge.set(0)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..cache import PlanCache, normalize_statement
 from ..config import DatasetConfig, StorageFormat
 from ..errors import DatasetError
 from ..lsm import LSMIOScheduler
@@ -79,6 +80,14 @@ class Dataset:
         self._closed = False
         #: Trace id of the most recent traced query (see :meth:`last_trace`).
         self._last_trace_id: Optional[str] = None
+        #: Bounded LRU of compiled physical plans (see :meth:`query` and
+        #: :meth:`prepare`); sized by ``REPRO_PLAN_CACHE``, 0 disables it.
+        self.plan_cache = PlanCache(metrics=environments[0].metrics)
+        #: Dataset-level half of the plan-reuse epoch: bumped by CREATE
+        #: INDEX and :meth:`invalidate_plans` (config/stats changes); the
+        #: per-partition ``structure_version`` half covers flush/merge/
+        #: bulk-load component swaps and quarantine.
+        self._plan_epoch = 0
         self.partitions: List[Partition] = []
         partition_id = 0
         for environment in self.environments:
@@ -253,26 +262,91 @@ class Dataset:
         while benchmark datasets carry configuration-mangled names, so the
         name acts purely as documentation and the alias binds to whatever
         dataset the method is called on.
+
+        Physical plans are memoized in :attr:`plan_cache`, keyed by the
+        normalized statement text, the dataset's :meth:`reuse_epoch`, and
+        the executor's plan signature — a repeat of the same text skips
+        parse → bind → optimize entirely (``stats.plan_source == "cache"``)
+        until a CREATE INDEX, flush/merge component swap, or
+        :meth:`invalidate_plans` call moves the epoch forward.
         """
         from ..query.executor import ExecutionStats, QueryExecutor, QueryResult
         from ..sqlpp import CompiledCreateIndex
         from ..sqlpp import compile as compile_sqlpp
 
-        with _tracer.span("query", text=" ".join(text.split())[:200]) as span:
+        if executor is not None and executor_options:
+            raise DatasetError(
+                "pass either a prebuilt executor or executor options, not both")
+        explicit_executor = executor is not None or bool(executor_options)
+        with _tracer.span("query", text=normalize_statement(text)[:200]) as span:
             if span.trace_id:
                 self._last_trace_id = span.trace_id
+            runner = executor if executor is not None else QueryExecutor(**executor_options)
+            key = None
+            if self.plan_cache.enabled:
+                key = (normalize_statement(text), self.reuse_epoch(),
+                       runner.plan_signature())
+                physical = self.plan_cache.get(key)
+                if physical is not None:
+                    result = runner.execute_physical(self, physical)
+                    result.stats.plan_source = "cache"
+                    return result
             compiled = compile_sqlpp(text)
             if isinstance(compiled, CompiledCreateIndex):
-                if executor is not None or executor_options:
+                if explicit_executor:
                     raise DatasetError("CREATE INDEX does not take an executor")
                 self.create_index(compiled.index_name, compiled.field_path)
                 return QueryResult(rows=[], stats=ExecutionStats())
-            if executor is None:
-                executor = QueryExecutor(**executor_options)
-            elif executor_options:
-                raise DatasetError(
-                    "pass either a prebuilt executor or executor options, not both")
-            return executor.execute(self, compiled.spec)
+            result, physical = runner.execute_prepared(self, compiled.spec)
+            result.stats.plan_source = "compiled"
+            if key is not None:
+                self.plan_cache.put(key, physical)
+            return result
+
+    def prepare(self, text: str, executor: Optional[Any] = None,
+                **executor_options) -> "PreparedStatement":
+        """Parse, bind, and optimize ``text`` once; execute it many times.
+
+        Returns a :class:`PreparedStatement` whose :meth:`~PreparedStatement.execute`
+        reuses the compiled physical plan directly (no plan-cache probe, no
+        re-parse) while the dataset's :meth:`reuse_epoch` is unchanged, and
+        transparently re-prepares after CREATE INDEX, component swaps, or
+        :meth:`invalidate_plans`.  ``executor``/``executor_options`` follow
+        the same rules as :meth:`query`; CREATE INDEX statements cannot be
+        prepared.
+        """
+        from ..query.executor import QueryExecutor
+
+        if executor is not None and executor_options:
+            raise DatasetError(
+                "pass either a prebuilt executor or executor options, not both")
+        if executor is None:
+            executor = QueryExecutor(**executor_options)
+        return PreparedStatement(self, text, executor)
+
+    def reuse_epoch(self) -> Tuple:
+        """The dataset state a cached physical plan is valid against.
+
+        Combines the dataset-level plan epoch (CREATE INDEX, config/stats
+        invalidations) with every partition's LSM ``structure_version``
+        (bumped on flush install, bulk load, merge swap, secondary-index
+        backfill, and quarantine), so any event that can change optimizer
+        inputs or access-path viability yields a fresh epoch — stale plans
+        simply stop matching and age out of the LRU.
+        """
+        return (self._plan_epoch,
+                tuple(partition.index.structure_version for partition in self.partitions))
+
+    def invalidate_plans(self) -> None:
+        """Force re-planning of every cached/prepared statement.
+
+        Call after out-of-band changes the engine cannot observe (e.g.
+        mutating executor-relevant configuration in place or refreshing
+        statistics externally).  Bumps the plan epoch and drops the cache's
+        current entries.
+        """
+        self._plan_epoch += 1
+        self.plan_cache.clear()
 
     def explain(self, query: Any, access_path: str = "auto", analyze: bool = False,
                 **executor_options: Any) -> str:
@@ -328,6 +402,9 @@ class Dataset:
             raise DatasetError("create_index needs a non-empty field path")
         for partition in self.partitions:
             partition.create_secondary_index(name, path)
+        # A new index changes access-path planning: move the reuse epoch so
+        # cached plans compiled without it stop matching.
+        self._plan_epoch += 1
 
     def create_secondary_index(self, name: str, field_path: Tuple[str, ...]) -> None:
         """Storage-level alias of :meth:`create_index` (kept for the benchmarks)."""
@@ -383,3 +460,60 @@ class Dataset:
         if schema is None:
             return "<no inferred schema: tuple compactor disabled>"
         return schema.describe()
+
+
+class PreparedStatement:
+    """A SQL++ statement compiled and optimized once, executed many times.
+
+    Created by :meth:`Dataset.prepare`.  Holds the physical plan pinned
+    (independent of the shared plan cache, so it works even with
+    ``REPRO_PLAN_CACHE=0``) together with the :meth:`Dataset.reuse_epoch`
+    it was compiled against; :meth:`execute` re-prepares transparently when
+    the epoch has moved (CREATE INDEX, flush/merge component swaps,
+    :meth:`Dataset.invalidate_plans`), so results are always identical to an
+    uncached :meth:`Dataset.query` of the same text.
+    """
+
+    def __init__(self, dataset: Dataset, text: str, executor: Any) -> None:
+        self._dataset = dataset
+        #: The normalized statement text (whitespace collapsed) — also the
+        #: text component of the shared plan-cache key this statement seeds.
+        self.text = normalize_statement(text)
+        self._executor = executor
+        self._signature = executor.plan_signature()
+        self._epoch: Optional[Tuple] = None
+        self._physical: Optional[Any] = None
+        self._warm()
+
+    def _warm(self) -> None:
+        from ..sqlpp import CompiledCreateIndex
+        from ..sqlpp import compile as compile_sqlpp
+
+        epoch = self._dataset.reuse_epoch()
+        compiled = compile_sqlpp(self.text)
+        if isinstance(compiled, CompiledCreateIndex):
+            raise DatasetError("only queries can be prepared, not CREATE INDEX")
+        self._physical = self._executor.prepare_physical(self._dataset, compiled.spec)
+        self._epoch = epoch
+        # Seed the shared cache too: plain dataset.query(text) calls with a
+        # signature-compatible executor hit immediately.
+        if self._dataset.plan_cache.enabled:
+            self._dataset.plan_cache.put((self.text, epoch, self._signature),
+                                         self._physical)
+
+    def execute(self):
+        """Run the prepared plan; returns a :class:`~repro.query.QueryResult`.
+
+        ``result.stats.plan_source`` is ``"cache"`` when the pinned plan was
+        reused as-is and ``"compiled"`` when a reuse-epoch change forced a
+        re-prepare on this call.
+        """
+        with _tracer.span("query", text=self.text[:200]) as span:
+            if span.trace_id:
+                self._dataset._last_trace_id = span.trace_id
+            reused = self._epoch == self._dataset.reuse_epoch()
+            if not reused:
+                self._warm()
+            result = self._executor.execute_physical(self._dataset, self._physical)
+            result.stats.plan_source = "cache" if reused else "compiled"
+            return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..cache import ColumnSliceCache
 from ..config import DeviceKind, StorageConfig
 from ..obs import MetricsRegistry, get_registry
 from ..storage import (
@@ -48,6 +49,11 @@ class StorageEnvironment:
         self.buffer_cache = BufferCache(self.file_manager, self.config.buffer_cache_pages,
                                         metrics=self.metrics)
         self.wal = WriteAheadLog(self.device, metrics=self.metrics)
+        #: Decoded column-slice cache shared by this environment's datasets
+        #: (budget from ``REPRO_COLUMN_CACHE_BYTES``; 0 disables it).  Sits
+        #: above the buffer cache: warm scans skip page reads entirely, and
+        #: the LSM component lifecycle invalidates entries eagerly.
+        self.column_cache = ColumnSliceCache(metrics=self.metrics)
 
     # -- reporting -------------------------------------------------------------
 
@@ -66,8 +72,10 @@ class StorageEnvironment:
         self.device.reset()
 
     def drop_caches(self) -> None:
-        """Empty the buffer cache (cold-start a query experiment)."""
+        """Empty the buffer and column-slice caches (cold-start a query
+        experiment: the next scan pays full page-read *and* decode cost)."""
         self.buffer_cache.clear()
+        self.column_cache.clear()
 
     @classmethod
     def for_device(cls, device_kind: DeviceKind, compression: Optional[str] = None,

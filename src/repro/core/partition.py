@@ -70,6 +70,7 @@ class Partition:
             max_sealed_memtables=config.lsm.max_sealed_memtables,
             max_merge_debt=config.lsm.max_merge_debt,
             metrics=environment.metrics,
+            column_cache=environment.column_cache,
         )
 
     # ------------------------------------------------------------------ writes
@@ -127,6 +128,45 @@ class Partition:
     def scan_records(self) -> Iterator[Dict[str, Any]]:
         for view in self.scan_views():
             yield view.materialize()
+
+    def slice_scan_views(self, paths: Sequence[Tuple[Any, ...]], extractor: Any,
+                         slice_stats: Any = None) -> Optional[Iterator[Tuple[Any, Any]]]:
+        """Scan through the environment's decoded column-slice cache.
+
+        Yields one ``(values, view)`` pair per live record in key order:
+        ``values`` is the tuple of decoded column values aligned with
+        ``paths`` for rows served (or freshly decoded) on the cached disk
+        path, ``view`` is the record view for rows that still need
+        extraction (memtable hits).  Exactly one of the two is non-None.
+        Returns ``None`` when the cache is disabled, in which case callers
+        use :meth:`scan_views` unchanged.
+        """
+        cache = self.environment.column_cache
+        if cache is None or not cache.enabled:
+            return None
+        from ..cache import cached_component_scan
+        from ..cache.column_cache import paths_cache_key
+
+        pkey = paths_cache_key(paths)
+
+        def source(component):
+            def decode(payload):
+                return self.codec.view(payload, component.schema or self.current_schema())
+
+            return cached_component_scan(cache, component, decode, extractor,
+                                         pkey, slice_stats)
+
+        def generate():
+            for result in self.index.scan(component_source=source):
+                if result.values is not None:
+                    yield result.values, None
+                elif result.record is not None:
+                    yield None, DictRecordView(result.record)
+                else:
+                    yield None, self.codec.view(result.payload,
+                                                result.schema or self.current_schema())
+
+        return generate()
 
     # ------------------------------------------------------------------ secondary indexes
 

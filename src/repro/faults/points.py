@@ -49,6 +49,13 @@ FAULT_POINTS: Tuple[FaultPoint, ...] = (
                "Before each attempt of a background flush task."),
     FaultPoint("scheduler.merge",
                "Before each attempt of a background merge task."),
+    FaultPoint("cache.lookup",
+               "Plan-cache / column-slice-cache lookup; injected errors "
+               "degrade to a cache miss (re-plan / re-decode), never to a "
+               "wrong answer."),
+    FaultPoint("cache.store",
+               "Plan-cache / column-slice-cache store; injected errors skip "
+               "the store, so the entry is rebuilt on the next execution."),
 )
 
 _POINT_NAMES = frozenset(point.name for point in FAULT_POINTS)

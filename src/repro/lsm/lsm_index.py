@@ -119,6 +119,10 @@ class SearchResult:
     schema: Optional[InferredSchema]
     from_memory: bool = False
     record: Optional[Dict[str, Any]] = None  # set only for memtable hits
+    #: Decoded column values (aligned to the scan's requested paths) when the
+    #: row was served through the column-slice cache; None on every other
+    #: path, in which case callers decode ``payload`` as before.
+    values: Optional[Tuple[Any, ...]] = None
 
 
 class LSMBTree:
@@ -133,7 +137,8 @@ class LSMBTree:
                  scheduler: Optional[LSMIOScheduler] = None,
                  max_sealed_memtables: int = 2,
                  max_merge_debt: int = 12,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 column_cache=None) -> None:
         self.name = name
         self.partition = partition
         self.buffer_cache = buffer_cache
@@ -148,6 +153,17 @@ class LSMBTree:
         self.scheduler = scheduler
         self.max_sealed_memtables = max_sealed_memtables
         self.max_merge_debt = max_merge_debt
+        #: Decoded column-slice cache shared by the owning environment's
+        #: datasets (:class:`repro.cache.ColumnSliceCache`), or None.  The
+        #: index only *invalidates* it (component drops and quarantines);
+        #: population happens on the scan path via ``component_source``.
+        self.column_cache = column_cache
+        #: Monotone component-lifecycle counter: bumped by every flush,
+        #: merge, bulk load, CREATE INDEX backfill, and quarantine — i.e.
+        #: whenever the component set (and with it the per-component
+        #: FieldStatistics the optimizer prices against) changes.  Part of
+        #: the dataset's plan-cache reuse epoch.
+        self.structure_version = 0
 
         self.memory_component = InMemoryComponent()
         #: Sealed (immutable, flush-pending) memtables, oldest first.  Only
@@ -440,6 +456,7 @@ class LSMBTree:
         # Commit point: pure in-memory bookkeeping, nothing below can fail.
         self.components.insert(0, component)
         self._next_sequence += 1
+        self.structure_version += 1
         self.stats.flushes += 1
         self.stats.bytes_flushed += component.size_bytes()
         self._flushes_metric.inc()
@@ -670,6 +687,7 @@ class LSMBTree:
         self._build_auxiliary_indexes(component, leaf_entries)
         self.components.insert(0, component)
         self._next_sequence += 1
+        self.structure_version += 1
         self.stats.inserts += len(leaf_entries)
         self.stats.flushes += 1
         self.stats.bytes_flushed += component.size_bytes()
@@ -743,6 +761,7 @@ class LSMBTree:
                 continue
             new_components.append(component)
         self.components = new_components
+        self.structure_version += 1
         for component in selected:
             self._drop_component(component)
         self.stats.merges += 1
@@ -811,6 +830,10 @@ class LSMBTree:
     def _delete_component_files(self, component: OnDiskComponent) -> None:
         component.valid = False
         manager = self.buffer_cache.file_manager
+        if self.column_cache is not None:
+            # Evict decoded slices before the file goes away: a cached read
+            # must never resurrect a merged-away component.
+            self.column_cache.invalidate_component(component.file_name)
         self.buffer_cache.invalidate_file(component.file_name)
         manager.delete_file(component.file_name)
         if component.primary_key_file is not None:
@@ -866,6 +889,7 @@ class LSMBTree:
             self._remove_secondary_index_artifacts(definition.name)
             raise
         self.secondary_indexes.append(definition)
+        self.structure_version += 1
 
     def _remove_secondary_index_artifacts(self, index_name: str) -> None:
         manager = self.buffer_cache.file_manager
@@ -1104,6 +1128,12 @@ class LSMBTree:
             first_offender = component.file_name not in self._quarantined
             self._quarantined[component.file_name] = str(exc)
         if first_offender:
+            self.structure_version += 1
+            if self.column_cache is not None:
+                # A corrupt component's decoded slices must not outlive its
+                # quarantine: evict them so every later read goes through
+                # _raise_if_quarantined instead of a warm cache.
+                self.column_cache.invalidate_component(component.file_name)
             emit_event(COMPONENT_QUARANTINED, dataset=self.name,
                        partition=self.partition, component=component.file_name,
                        reason=str(exc))
@@ -1111,7 +1141,7 @@ class LSMBTree:
             f"component {component.file_name} is quarantined: {exc}",
             component_name=component.file_name) from exc
 
-    def scan(self) -> Iterator[SearchResult]:
+    def scan(self, component_source=None) -> Iterator[SearchResult]:
         """Full scan in key order, reconciling duplicates by recency.
 
         Both sources are snapshotted up front so the scan stays consistent
@@ -1122,11 +1152,18 @@ class LSMBTree:
         or in both (reconciled by recency rank), but never in neither.
         The read guard keeps concurrent merges from deleting snapshotted
         components' files while this generator is live.
+
+        ``component_source(component)``, when given, replaces the raw
+        ``component.scan()`` iterator per on-disk component (the column-slice
+        cache hook).  It must yield the same rows in the same key order as
+        the component itself, as ``(key, is_antimatter, payload, record,
+        schema, values)`` items; ``values`` flows through to
+        :attr:`SearchResult.values` for rows that win reconciliation.
         """
         with self.read_guard():
-            yield from self._scan_guarded()
+            yield from self._scan_guarded(component_source)
 
-    def _scan_guarded(self) -> Iterator[SearchResult]:
+    def _scan_guarded(self, component_source=None) -> Iterator[SearchResult]:
         # Snapshot order matters: mutable memtable first (rotation appends to
         # the sealed list *before* installing a fresh mutable memtable), then
         # the sealed memtables (flush completion installs the on-disk
@@ -1142,16 +1179,20 @@ class LSMBTree:
 
         # Sources by recency: mutable memtable, sealed memtables newest
         # first (negative ranks), then components (ranks 0..) by recency.
-        sources: List[Tuple[int, Iterator[Tuple[Any, bool, bytes, Optional[Dict[str, Any]], Optional[InferredSchema]]]]] = []
+        # Items are (key, is_antimatter, payload, record, schema, values).
+        sources: List[Tuple[int, Iterator[Tuple]]] = []
 
         def memory_iterator(entries: List[MemEntry]):
             for entry in entries:
-                yield entry.key, entry.is_antimatter, entry.encoded, entry.record, schema
+                yield entry.key, entry.is_antimatter, entry.encoded, entry.record, schema, None
 
         def component_iterator(component: OnDiskComponent):
             try:
-                for entry in component.scan():
-                    yield entry.key, entry.is_antimatter, entry.value, None, component.schema
+                if component_source is not None:
+                    yield from component_source(component)
+                else:
+                    for entry in component.scan():
+                        yield entry.key, entry.is_antimatter, entry.value, None, component.schema, None
             except CorruptPageError as exc:
                 self._quarantine_component(component, exc)
 
@@ -1183,7 +1224,8 @@ class LSMBTree:
             if key != current_key:
                 if best_item is not None and not best_item[1]:
                     yield SearchResult(best_item[0], best_item[2], best_item[4],
-                                       from_memory=best_rank < 0, record=best_item[3])
+                                       from_memory=best_rank < 0, record=best_item[3],
+                                       values=best_item[5])
                 current_key = key
                 best_rank = rank
                 best_item = item
@@ -1192,7 +1234,8 @@ class LSMBTree:
                 best_item = item
         if best_item is not None and not best_item[1]:
             yield SearchResult(best_item[0], best_item[2], best_item[4],
-                               from_memory=best_rank < 0, record=best_item[3])
+                               from_memory=best_rank < 0, record=best_item[3],
+                               values=best_item[5])
 
     # ------------------------------------------------------------------ inspection
 

@@ -67,7 +67,8 @@ class BatchUnsupported(Exception):
 class _Context:
     """Which columns an evaluator may address, by variable."""
 
-    __slots__ = ("record_var", "record_paths", "let_names", "item_var", "item_paths")
+    __slots__ = ("record_var", "record_paths", "let_names", "item_var", "item_paths",
+                 "uses_views")
 
     def __init__(self, record_var: str, record_paths: Set[Path],
                  item_var: Optional[str] = None,
@@ -81,6 +82,11 @@ class _Context:
         self.let_names: Set[str] = set()
         self.item_var = item_var
         self.item_paths = item_paths
+        #: Set when an evaluator addresses the whole record variable
+        #: (``SELECT t``): such plans need ``batch.views``, so the scan must
+        #: materialize record views and cannot run purely from cached column
+        #: slices.
+        self.uses_views = False
 
 
 def _mentions(expr: Expr, name: str) -> bool:
@@ -98,6 +104,7 @@ def compile_expr(expr: Expr, ctx: _Context) -> ColumnEval:
     if isinstance(expr, Var):
         name = expr.name
         if name == ctx.record_var:
+            ctx.uses_views = True
             return lambda batch: batch.views
         if name in ctx.let_names:
             key = (name, ())
@@ -417,6 +424,10 @@ class BatchQueryPlan:
     projections: List[Tuple[str, ColumnEval]] = field(default_factory=list)
     #: Sort-key evaluators for non-grouped ORDER BY, in key order.
     order_keys: List[ColumnEval] = field(default_factory=list)
+    #: Whether any evaluator reads ``batch.views`` (whole-record projection).
+    #: When False the scan may serve purely from the column-slice cache and
+    #: build view-less batches.
+    needs_views: bool = True
 
 
 def plan_batch(spec: QuerySpec, access_plan: AccessPlan):
@@ -479,4 +490,5 @@ def plan_batch(spec: QuerySpec, access_plan: AccessPlan):
         aggregate_args=aggregate_args,
         projections=projections,
         order_keys=order_keys,
+        needs_views=ctx.uses_views,
     ), None

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..cache import PhysicalPlan
 from ..config import env_float, env_int, env_str
 from ..core.dataset import Dataset
 from ..errors import QueryDeadlineError, QueryError
@@ -218,6 +219,10 @@ class PartitionStats(StatsDictMixin):
     #: environment's, summed at the execution level).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Column-slice cache rows served / decoded by this partition's batch
+    #: scan (always collected — the scan counts them anyway).
+    slice_hits: int = 0
+    slice_misses: int = 0
 
 
 @dataclass
@@ -263,6 +268,15 @@ class ExecutionStats(StatsDictMixin):
     #: Buffer-cache activity during the execution (instrumented runs only).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Column-slice cache rows served from / decoded into the cache across
+    #: all partitions (batch-mode full scans; zero elsewhere).
+    slice_cache_hits: int = 0
+    slice_cache_misses: int = 0
+    #: Where the physical plan came from: "cache" (plan-cache hit — parse,
+    #: bind, and optimize were all skipped), "compiled" (cache miss or a
+    #: cache-bypassing path), or None when the executor was driven with a
+    #: prebuilt QuerySpec directly.
+    plan_source: Optional[str] = None
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -471,6 +485,16 @@ class QueryExecutor:
         #: row/batch boundaries.  ``None`` defers to ``REPRO_QUERY_DEADLINE``,
         #: then to no deadline; ``0`` expires immediately (tests).
         self.deadline = deadline
+        #: Optimizer flags, kept for the plan-cache signature.
+        self._consolidate_field_access = consolidate_field_access
+        self._pushdown_through_unnest = pushdown_through_unnest
+        # Env-knob reads hoisted out of the per-query hot path: each knob is
+        # read (through the repro.config accessors) exactly once, here, and
+        # invalid values fail fast at construction instead of at execute.
+        self._resolved_execution_mode = self._read_execution_mode()
+        self._resolved_batch_size = self._read_batch_size()
+        self._resolved_deadline = self._read_deadline()
+        self._env_parallelism = self._read_env_parallelism()
 
     # ------------------------------------------------------------------ public API
 
@@ -481,27 +505,87 @@ class QueryExecutor:
             execute_span.set_attribute("access_path", result.stats.access_path)
             return result
 
-    def _execute(self, dataset: Dataset, spec: QuerySpec) -> QueryResult:
-        stats = ExecutionStats()
+    def execute_physical(self, dataset: Dataset, physical: PhysicalPlan) -> QueryResult:
+        """Run a previously prepared :class:`PhysicalPlan` (plan-cache hits).
+
+        Skips parse/bind (never entered) *and* optimize (cached); everything
+        downstream — partition fan-out, stats, metrics — is identical to
+        :meth:`execute`.
+        """
+        with _tracer.span("query.execute", dataset=dataset.config.name) as execute_span:
+            result = self._execute(dataset, physical.spec, physical=physical)
+            execute_span.set_attribute("rows", len(result.rows))
+            execute_span.set_attribute("access_path", result.stats.access_path)
+            return result
+
+    def execute_prepared(self, dataset: Dataset,
+                         spec: QuerySpec) -> Tuple[QueryResult, PhysicalPlan]:
+        """Optimize *and* run ``spec``, returning the plan alongside the result.
+
+        The plan-cache miss path: :meth:`prepare_physical` runs inside the
+        ``query.execute`` span (so traces keep ``query.optimize`` nested
+        exactly as :meth:`execute` does) and the resulting plan is handed
+        back for the caller to cache.
+        """
+        with _tracer.span("query.execute", dataset=dataset.config.name) as execute_span:
+            physical = self.prepare_physical(dataset, spec)
+            result = self._execute(dataset, physical.spec, physical=physical)
+            execute_span.set_attribute("rows", len(result.rows))
+            execute_span.set_attribute("access_path", result.stats.access_path)
+            return result, physical
+
+    def prepare_physical(self, dataset: Dataset, spec: QuerySpec) -> PhysicalPlan:
+        """Optimize ``spec`` down to the physical plan without executing it.
+
+        The returned plan is immutable and shared safely across executions
+        and threads; pair it with :meth:`execute_physical`.  Cache keys must
+        include :meth:`plan_signature` — the plan bakes in this executor's
+        optimizer flags, access-path policy, and batch-mode resolution.
+        """
         with _tracer.span("query.optimize"):
             access_plan = self.optimizer.plan(
                 spec, dataset.config.storage_format.uses_vector_format)
-            spec = access_plan.effective_spec(spec)
-            choice = choose_access_path(spec, dataset, force=self.access_path)
+            effective_spec = access_plan.effective_spec(spec)
+            choice = choose_access_path(effective_spec, dataset, force=self.access_path)
+        batch_plan: Optional[BatchQueryPlan] = None
+        fallback_reason: Optional[str] = None
+        if self._resolved_execution_mode is ExecutionMode.BATCH:
+            if self._resolved_batch_size > 0:
+                batch_plan, fallback_reason = self.optimizer.plan_batch(
+                    effective_spec, access_plan)
+            else:
+                fallback_reason = "batch size 0 disables batch execution"
+        return PhysicalPlan(spec=effective_spec, access_plan=access_plan,
+                            choice=choice, batch_plan=batch_plan,
+                            fallback_reason=fallback_reason)
+
+    def plan_signature(self) -> Tuple:
+        """The plan-relevant part of this executor's configuration.
+
+        Two executors with equal signatures produce interchangeable
+        :class:`PhysicalPlan` objects for the same spec and dataset state,
+        so the signature is part of every plan-cache key.
+        """
+        return (self._consolidate_field_access, self._pushdown_through_unnest,
+                self.access_path, self._resolved_execution_mode.value,
+                self._resolved_batch_size > 0)
+
+    def _execute(self, dataset: Dataset, spec: QuerySpec,
+                 physical: Optional[PhysicalPlan] = None) -> QueryResult:
+        stats = ExecutionStats()
+        if physical is None:
+            physical = self.prepare_physical(dataset, spec)
+        spec = physical.spec
+        access_plan = physical.access_plan
+        choice = physical.choice
+        batch_plan: Optional[BatchQueryPlan] = physical.batch_plan
         stats.access_path = choice.path.name
         if choice.uses_index:
             stats.index_name = choice.path.index_name
         stats.estimated_rows = choice.estimated_rows
+        stats.fallback_reason = physical.fallback_reason
 
-        mode = self._resolve_execution_mode()
-        batch_size = self._resolve_batch_size()
-        batch_plan: Optional[BatchQueryPlan] = None
-        if mode is ExecutionMode.BATCH:
-            if batch_size > 0:
-                batch_plan, fallback_reason = self.optimizer.plan_batch(spec, access_plan)
-                stats.fallback_reason = fallback_reason
-            else:
-                stats.fallback_reason = "batch size 0 disables batch execution"
+        batch_size = self._resolved_batch_size
         stats.execution_mode = "batch" if batch_plan is not None else "row"
         if batch_plan is not None:
             stats.batch_size = batch_size
@@ -567,6 +651,8 @@ class QueryExecutor:
             stats.bytes_written += partition_stats.bytes_written
             stats.simulated_io_seconds += partition_stats.simulated_io_seconds
             stats.batches_processed += partition_stats.batches
+            stats.slice_cache_hits += partition_stats.slice_hits
+            stats.slice_cache_misses += partition_stats.slice_misses
 
         if instrument:
             for environment, before in zip(environments, caches_before):
@@ -620,7 +706,7 @@ class QueryExecutor:
         elif stats.fallback_reason is not None:
             registry.counter("query_batch_fallbacks").inc()
 
-    def _resolve_execution_mode(self) -> ExecutionMode:
+    def _read_execution_mode(self) -> ExecutionMode:
         mode = self.execution_mode
         if mode is None:
             env_value = env_str(EXECUTION_MODE_ENV_VAR)
@@ -636,7 +722,7 @@ class QueryExecutor:
                 f"unknown execution mode {mode!r}; use "
                 f"{' or '.join(member.value for member in ExecutionMode)}")
 
-    def _resolve_batch_size(self) -> int:
+    def _read_batch_size(self) -> int:
         size = self.batch_size
         if size is None:
             try:
@@ -649,7 +735,7 @@ class QueryExecutor:
             raise QueryError(f"batch size must be >= 0, got {size}")
         return size
 
-    def _resolve_deadline(self) -> Optional[float]:
+    def _read_deadline(self) -> Optional[float]:
         seconds = self.deadline
         if seconds is None:
             try:
@@ -662,13 +748,30 @@ class QueryExecutor:
             raise QueryError(f"query deadline must be >= 0 seconds, got {seconds}")
         return float(seconds)
 
+    def _read_env_parallelism(self) -> Optional[int]:
+        if self.parallelism is not None:
+            return None
+        try:
+            return env_int(PARALLELISM_ENV_VAR)
+        except ValueError as exc:
+            raise QueryError(str(exc))
+
+    # Resolved-knob accessors: construction-time values, no env reads here
+    # (EXPLAIN renders them and the execute path consumes them per query).
+
+    def _resolve_execution_mode(self) -> ExecutionMode:
+        return self._resolved_execution_mode
+
+    def _resolve_batch_size(self) -> int:
+        return self._resolved_batch_size
+
+    def _resolve_deadline(self) -> Optional[float]:
+        return self._resolved_deadline
+
     def _resolve_parallelism(self, dataset: Dataset) -> int:
         requested = self.parallelism
         if requested is None:
-            try:
-                requested = env_int(PARALLELISM_ENV_VAR)
-            except ValueError as exc:
-                raise QueryError(str(exc))
+            requested = self._env_parallelism
             if requested is None:
                 requested = dataset.partition_count
         if requested < 1:
@@ -753,6 +856,8 @@ class QueryExecutor:
         partition_stats.records_scanned = scan.records_scanned
         if batch_plan is not None:
             partition_stats.batches = scan.batches_emitted
+            partition_stats.slice_hits = scan.slice_stats.hits
+            partition_stats.slice_misses = scan.slice_stats.misses
         partition_stats.bytes_read = io_scope.bytes_read
         partition_stats.bytes_written = io_scope.bytes_written
         partition_stats.simulated_io_seconds = device.simulated_seconds(io_scope)
@@ -836,7 +941,8 @@ class QueryExecutor:
             batch_size = min(batch_size, spec.limit)
         probe = choice.path if choice.uses_index else None
         scan = BatchScanOperator(partition, spec.record_var, batch_plan.scan_paths,
-                                 batch_size, batch_plan.extractor, probe=probe)
+                                 batch_size, batch_plan.extractor, probe=probe,
+                                 use_slice_cache=not batch_plan.needs_views)
         scan_name = (f"IndexProbe({choice.path.index_name})" if choice.uses_index
                      else "FullScan")
         pipeline: Iterator = tap(iter(scan), scan_name)

@@ -173,7 +173,13 @@ def explain(dataset, query: Union[str, QuerySpec], access_path: str = "auto",
     if not analyze:
         return "\n".join(lines)
 
-    result = executor.execute(dataset, original_spec)
+    if isinstance(query, str):
+        # Route through Dataset.query so the plan cache is probed exactly as
+        # a production call would — ANALYZE then reports "plan: cached" vs
+        # "plan: compiled" truthfully.
+        result = dataset.query(query, executor=executor)
+    else:
+        result = executor.execute(dataset, original_spec)
     lines.extend(_analyze_lines(result.stats))
     return "\n".join(lines)
 
@@ -203,6 +209,9 @@ def _analyze_lines(stats) -> list:
                 line += f"  {op.batches:>8}"
             lines.append(line)
         lines.append("    (time is inclusive wall time, summed across partitions)")
+    if stats.plan_source is not None:
+        lines.append("    plan: cached" if stats.plan_source == "cache"
+                     else "    plan: compiled")
     cache_total = stats.cache_hits + stats.cache_misses
     if cache_total:
         lines.append(f"    buffer cache: {stats.cache_hits} hit(s) / "
@@ -210,6 +219,11 @@ def _analyze_lines(stats) -> list:
                      f"({stats.cache_hit_ratio:.1%} hit rate)")
     else:
         lines.append("    buffer cache: no page accesses")
+    slice_total = stats.slice_cache_hits + stats.slice_cache_misses
+    if slice_total:
+        lines.append(f"    column-slice cache (scan): {stats.slice_cache_hits} hit(s) / "
+                     f"{stats.slice_cache_misses} miss(es) "
+                     f"({stats.slice_cache_hits / slice_total:.1%} hit rate)")
     if stats.estimated_rows is not None and stats.actual_matched_rows is not None:
         lines.append(f"    cardinality: estimated {stats.estimated_rows:.1f} row(s), "
                      f"actual {stats.actual_matched_rows} row(s) matched "

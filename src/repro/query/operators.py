@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..cache import SliceScanStats
 from ..types import AMultiset, MISSING, Missing
 from ..vector.batch import ColumnBatch
 from .aggregates import get_aggregate
@@ -386,15 +387,23 @@ class BatchScanOperator:
     """
 
     def __init__(self, partition, record_var: str, scan_paths: Sequence[Tuple[Any, ...]],
-                 batch_size: int, extractor=None, probe: Optional[IndexProbe] = None) -> None:
+                 batch_size: int, extractor=None, probe: Optional[IndexProbe] = None,
+                 use_slice_cache: bool = False) -> None:
         self.partition = partition
         self.record_var = record_var
         self.scan_paths = list(scan_paths)
         self.batch_size = max(1, batch_size)
         self.extractor = extractor
         self.probe = probe
+        #: Serve full scans through the environment's decoded column-slice
+        #: cache.  Only set for plans that never read ``batch.views`` (the
+        #: executor checks ``BatchQueryPlan.needs_views``): cached batches
+        #: are built column-first with ``views=None``.
+        self.use_slice_cache = use_slice_cache
         self.records_scanned = 0
         self.batches_emitted = 0
+        #: Column-slice cache row hits/misses of this scan (EXPLAIN ANALYZE).
+        self.slice_stats = SliceScanStats()
 
     def _views(self):
         if self.probe is not None:
@@ -404,6 +413,12 @@ class BatchScanOperator:
         return self.partition.scan_views()
 
     def __iter__(self) -> Iterator[ColumnBatch]:
+        if self.probe is None and self.use_slice_cache and self.extractor is not None:
+            source = self.partition.slice_scan_views(self.scan_paths, self.extractor,
+                                                     self.slice_stats)
+            if source is not None:
+                yield from self._iter_slices(source)
+                return
         buffer: List[Any] = []
         for view in self._views():
             self.records_scanned += 1
@@ -418,6 +433,31 @@ class BatchScanOperator:
         self.batches_emitted += 1
         return ColumnBatch.from_views(views, self.record_var, self.scan_paths,
                                       self.extractor)
+
+    def _iter_slices(self, source) -> Iterator[ColumnBatch]:
+        """Chunk ``(values, view)`` pairs into view-less ColumnBatches."""
+        pending: List[Tuple[Any, Any]] = []
+        for pair in source:
+            self.records_scanned += 1
+            pending.append(pair)
+            if len(pending) >= self.batch_size:
+                yield self._emit_slices(pending)
+                pending = []
+        if pending:
+            yield self._emit_slices(pending)
+
+    def _emit_slices(self, pending: List[Tuple[Any, Any]]) -> ColumnBatch:
+        self.batches_emitted += 1
+        extractor = self.extractor
+        columns: List[List[Any]] = [[] for _ in self.scan_paths]
+        for values, view in pending:
+            if values is None:
+                values = extractor.extract(view)
+            for column, value in zip(columns, values):
+                column.append(value)
+        keyed = {(self.record_var, tuple(path)): column
+                 for path, column in zip(self.scan_paths, columns)}
+        return ColumnBatch(None, keyed, len(pending))
 
 
 class BatchLetOperator:

@@ -1,0 +1,467 @@
+"""Plan cache, prepared statements, and the decoded column-slice cache.
+
+The contract pinned down here (PR 10):
+
+* repeated ``Dataset.query(text)`` calls reuse the compiled physical plan
+  (``stats.plan_source == "cache"``) and return rows identical to a cold
+  compile; ``Dataset.prepare`` pins a plan without the shared cache;
+* any event that can change optimizer inputs — ``CREATE INDEX``, flush,
+  merge, bulk load, ``invalidate_plans`` — moves the reuse epoch, so stale
+  plans stop matching instead of being served;
+* warm scans served by the column-slice cache are row-identical to a
+  cold-cache oracle under arbitrary interleavings of ingest, flush, merge,
+  CREATE INDEX, and queries (hypothesis-driven), and memtable rows are
+  always re-read, so unflushed updates are never hidden by the cache;
+* a quarantined component's cached slices are evicted and queries re-raise
+  ``QuarantinedComponentError`` — a poisoned cache can never serve rows
+  the storage layer refuses to;
+* ``cache.lookup``/``cache.store`` faults degrade to misses/skipped
+  stores: identical rows, never an error surfaced to the query;
+* both knobs (``REPRO_PLAN_CACHE``, ``REPRO_COLUMN_CACHE_BYTES``) disable
+  their layer entirely at 0, with byte-identical results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, StorageFormat
+from repro.cache import (
+    COLUMN_CACHE_BYTES_ENV_VAR,
+    ColumnSliceCache,
+    PLAN_CACHE_ENV_VAR,
+    PlanCache,
+    normalize_statement,
+)
+from repro.cache.column_cache import paths_cache_key
+from repro.core import PreparedStatement
+from repro.errors import DatasetError, QuarantinedComponentError
+from repro.faults import FAULTS_ENV_VAR, get_injector
+from repro.config import env_str
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _default_cache_env(monkeypatch):
+    """Pin the module to the default cache/execution configuration.
+
+    CI runs the whole tier-1 suite under knob legs that disable the very
+    layers this module asserts on (``REPRO_PLAN_CACHE=0``,
+    ``REPRO_COLUMN_CACHE_BYTES=0``, ``REPRO_EXECUTION_MODE=row``); the
+    knob-off behaviors are covered explicitly by the tests below, so the
+    rest of the module runs against the defaults regardless of the leg.
+    """
+    for variable in (PLAN_CACHE_ENV_VAR, COLUMN_CACHE_BYTES_ENV_VAR,
+                     "REPRO_EXECUTION_MODE", "REPRO_BATCH_SIZE",
+                     "REPRO_LSM_SCHEDULER"):
+        monkeypatch.delenv(variable, raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_injector():
+    injector = get_injector()
+    injector.clear()
+    yield injector
+    injector.clear()
+    spec = env_str(FAULTS_ENV_VAR)
+    if spec:
+        injector.load_spec(spec)
+
+
+def _dataset(name, rows=60, partitions=1, **overrides):
+    dataset = Dataset.create(name, StorageFormat.INFERRED, partitions=partitions,
+                             **overrides)
+    for key in range(rows):
+        dataset.insert({"id": key, "name": f"user{key}", "age": key % 45,
+                        "city": f"c{key % 7}"})
+    dataset.flush_all()
+    return dataset
+
+
+QUERY = "SELECT d.name AS name FROM Ds AS d WHERE d.age < 20"
+
+
+def _rows(result):
+    return sorted(row["name"] for row in result.rows)
+
+
+# ---------------------------------------------------------------------------
+# plan cache: unit behavior
+# ---------------------------------------------------------------------------
+
+class TestPlanCacheUnit:
+    def test_lru_bounds_and_eviction_order(self):
+        registry = MetricsRegistry()
+        cache = PlanCache(capacity=2, metrics=registry)
+        cache.put("a", "plan-a")
+        cache.put("b", "plan-b")
+        assert cache.get("a") == "plan-a"  # refreshes "a"
+        cache.put("c", "plan-c")           # evicts "b", the LRU entry
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == "plan-a"
+        assert cache.get("c") == "plan-c"
+        assert registry.counter("plan_cache_evictions").value == 1
+        assert registry.gauge("plan_cache_entries").value == 2
+
+    def test_zero_capacity_disables(self):
+        cache = PlanCache(capacity=0, metrics=MetricsRegistry())
+        assert not cache.enabled
+        cache.put("a", "plan-a")
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_capacity_knob(self, monkeypatch):
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "3")
+        assert PlanCache(metrics=MetricsRegistry()).capacity == 3
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "0")
+        assert not PlanCache(metrics=MetricsRegistry()).enabled
+
+    def test_normalize_statement_collapses_whitespace(self):
+        assert normalize_statement("SELECT  x\n FROM\t y ") == "SELECT x FROM y"
+
+
+# ---------------------------------------------------------------------------
+# column-slice cache: unit behavior
+# ---------------------------------------------------------------------------
+
+class TestColumnCacheUnit:
+    def test_store_get_roundtrip_and_accounting(self):
+        cache = ColumnSliceCache(capacity_bytes=1 << 20, metrics=MetricsRegistry())
+        pkey = paths_cache_key((("user", "name"),))
+        rows = [(k, False, ("v%d" % k,)) for k in range(4)]
+        cache.store_chunk("comp_1", pkey, 0, rows, last=True)
+        chunk = cache.get_chunk("comp_1", pkey, 0)
+        assert chunk is not None and list(chunk.rows) == rows and chunk.last
+        assert cache.bytes_used > 0
+        assert cache.entry_count("comp_1") == 1
+        assert cache.get_chunk("comp_1", pkey, 1) is None
+
+    def test_byte_budget_evicts_lru(self):
+        registry = MetricsRegistry()
+        cache = ColumnSliceCache(capacity_bytes=700, metrics=registry)
+        pkey = paths_cache_key((("name",),))
+        for index in range(6):
+            cache.store_chunk("comp_1", pkey, index,
+                              [(index, False, ("x" * 50,))], last=False)
+        assert cache.bytes_used <= 700
+        assert cache.entry_count() < 6
+        assert registry.counter("column_cache_evictions").value > 0
+        # Oldest chunks went first.
+        assert cache.get_chunk("comp_1", pkey, 0) is None
+
+    def test_oversized_chunk_is_not_cached(self):
+        cache = ColumnSliceCache(capacity_bytes=64, metrics=MetricsRegistry())
+        pkey = paths_cache_key((("name",),))
+        cache.store_chunk("comp_1", pkey, 0, [(0, False, ("y" * 500,))], last=True)
+        assert cache.entry_count() == 0 and cache.bytes_used == 0
+
+    def test_invalidate_component_drops_only_its_chunks(self):
+        cache = ColumnSliceCache(capacity_bytes=1 << 20, metrics=MetricsRegistry())
+        pkey = paths_cache_key((("name",),))
+        cache.store_chunk("comp_1", pkey, 0, [(0, False, ("a",))], last=True)
+        cache.store_chunk("comp_2", pkey, 0, [(0, False, ("b",))], last=True)
+        cache.invalidate_component("comp_1")
+        assert cache.entry_count("comp_1") == 0
+        assert cache.get_chunk("comp_2", pkey, 0) is not None
+
+    def test_zero_budget_disables(self, monkeypatch):
+        monkeypatch.setenv(COLUMN_CACHE_BYTES_ENV_VAR, "0")
+        cache = ColumnSliceCache(metrics=MetricsRegistry())
+        assert not cache.enabled
+        pkey = paths_cache_key((("name",),))
+        cache.store_chunk("comp_1", pkey, 0, [(0, False, ("a",))], last=True)
+        assert cache.get_chunk("comp_1", pkey, 0) is None
+
+
+# ---------------------------------------------------------------------------
+# plan cache + prepared statements: end to end
+# ---------------------------------------------------------------------------
+
+class TestPlanCacheIntegration:
+    def test_repeat_query_hits_and_rows_match(self):
+        dataset = _dataset("PcRepeat")
+        first = dataset.query(QUERY)
+        second = dataset.query(QUERY)
+        assert first.stats.plan_source == "compiled"
+        assert second.stats.plan_source == "cache"
+        assert _rows(first) == _rows(second)
+        dataset.close()
+
+    def test_whitespace_variants_share_one_entry(self):
+        dataset = _dataset("PcWs")
+        dataset.query(QUERY)
+        variant = dataset.query("SELECT   d.name AS name\n  FROM Ds AS d\n"
+                                "  WHERE d.age < 20")
+        assert variant.stats.plan_source == "cache"
+        assert len(dataset.plan_cache) == 1
+        dataset.close()
+
+    def test_create_index_moves_epoch(self):
+        dataset = _dataset("PcIdx")
+        dataset.query(QUERY)
+        assert dataset.query(QUERY).stats.plan_source == "cache"
+        epoch_before = dataset.reuse_epoch()
+        dataset.query("CREATE INDEX iAge ON Ds (age)")
+        assert dataset.reuse_epoch() != epoch_before
+        replanned = dataset.query(QUERY)
+        assert replanned.stats.plan_source == "compiled"
+        assert _rows(replanned) == _rows(dataset.query(QUERY))
+        dataset.close()
+
+    def test_flush_and_merge_move_epoch(self):
+        dataset = _dataset("PcFlush")
+        dataset.query(QUERY)
+        dataset.insert({"id": 1000, "name": "user1000", "age": 1})
+        dataset.flush_all()
+        after_flush = dataset.query(QUERY)
+        assert after_flush.stats.plan_source == "compiled"
+        assert "user1000" in _rows(after_flush)
+        index = dataset.partitions[0].index
+        if index.component_count() >= 2:
+            dataset.query(QUERY)
+            index.merge(list(index.components))
+            assert dataset.query(QUERY).stats.plan_source == "compiled"
+        dataset.close()
+
+    def test_invalidate_plans_forces_recompile(self):
+        dataset = _dataset("PcInval")
+        dataset.query(QUERY)
+        dataset.invalidate_plans()
+        assert len(dataset.plan_cache) == 0
+        assert dataset.query(QUERY).stats.plan_source == "compiled"
+        dataset.close()
+
+    def test_executor_signature_partitions_entries(self):
+        dataset = _dataset("PcSig")
+        dataset.query(QUERY)  # batch-mode entry
+        row_mode = dataset.query(QUERY, execution_mode="row")
+        assert row_mode.stats.plan_source == "compiled"
+        assert dataset.query(QUERY, execution_mode="row").stats.plan_source == "cache"
+        dataset.close()
+
+    def test_knob_zero_disables_plan_cache(self, monkeypatch):
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "0")
+        dataset = _dataset("PcOff")
+        baseline = dataset.query(QUERY)
+        repeat = dataset.query(QUERY)
+        assert baseline.stats.plan_source == "compiled"
+        assert repeat.stats.plan_source == "compiled"
+        assert _rows(baseline) == _rows(repeat)
+        dataset.close()
+
+    def test_prepared_statement_reuses_plan(self):
+        dataset = _dataset("PsBasic")
+        statement = dataset.prepare(QUERY)
+        assert isinstance(statement, PreparedStatement)
+        oracle = _rows(dataset.query(QUERY, execution_mode="row"))
+        first = statement.execute()
+        assert first.stats.plan_source == "cache"
+        assert _rows(first) == oracle
+        # Epoch move (CREATE INDEX) re-prepares transparently.
+        dataset.query("CREATE INDEX iAge2 ON Ds (age)")
+        replanned = statement.execute()
+        assert replanned.stats.plan_source == "compiled"
+        assert _rows(replanned) == oracle
+        assert statement.execute().stats.plan_source == "cache"
+        dataset.close()
+
+    def test_prepared_statement_works_with_cache_disabled(self, monkeypatch):
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "0")
+        dataset = _dataset("PsOff")
+        statement = dataset.prepare(QUERY)
+        assert statement.execute().stats.plan_source == "cache"
+        dataset.close()
+
+    def test_prepare_rejects_create_index_and_arg_conflicts(self):
+        dataset = _dataset("PsReject", rows=5)
+        with pytest.raises(DatasetError):
+            dataset.prepare("CREATE INDEX iX ON Ds (age)")
+        from repro.query import QueryExecutor
+        with pytest.raises(DatasetError):
+            dataset.prepare(QUERY, executor=QueryExecutor(), parallelism=1)
+        with pytest.raises(DatasetError):
+            dataset.query(QUERY, executor=QueryExecutor(), parallelism=1)
+        dataset.close()
+
+    def test_explain_analyze_reports_plan_source(self):
+        dataset = _dataset("PcExplain")
+        first = dataset.explain(QUERY, analyze=True)
+        assert "plan: compiled" in first
+        second = dataset.explain(QUERY, analyze=True)
+        assert "plan: cached" in second
+        assert "column-slice cache" in second
+        dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# column-slice cache: end to end
+# ---------------------------------------------------------------------------
+
+class TestColumnCacheIntegration:
+    def test_warm_scan_served_from_slices(self):
+        dataset = _dataset("CcWarm")
+        # Empty both caches so the cold run pays real device reads; the warm
+        # run must then read strictly fewer (zero) device bytes.
+        dataset.environments[0].drop_caches()
+        cold = dataset.query(QUERY)
+        warm = dataset.query(QUERY)
+        assert cold.stats.slice_cache_misses > 0
+        assert warm.stats.slice_cache_hits > 0
+        assert warm.stats.bytes_read < cold.stats.bytes_read
+        assert _rows(cold) == _rows(warm)
+        dataset.close()
+
+    def test_memtable_rows_never_served_stale(self):
+        dataset = _dataset("CcMem")
+        dataset.query(QUERY)  # warm the slices
+        dataset.insert({"id": 2000, "name": "fresh", "age": 0})
+        dataset.upsert({"id": 0, "name": "updated0", "age": 0})
+        warm = dataset.query(QUERY)
+        names = _rows(warm)
+        assert "fresh" in names
+        assert "updated0" in names and "user0" not in names
+        dataset.close()
+
+    def test_knob_zero_disables_column_cache(self, monkeypatch):
+        monkeypatch.setenv(COLUMN_CACHE_BYTES_ENV_VAR, "0")
+        dataset = _dataset("CcOff")
+        cold = dataset.query(QUERY)
+        warm = dataset.query(QUERY)
+        assert warm.stats.slice_cache_hits == 0
+        assert warm.stats.slice_cache_misses == 0
+        assert _rows(cold) == _rows(warm)
+        dataset.close()
+
+    def test_dropped_component_evicts_slices(self):
+        dataset = _dataset("CcDrop")
+        dataset.query(QUERY)
+        environment = dataset.environments[0]
+        assert environment.column_cache.entry_count() > 0
+        index = dataset.partitions[0].index
+        dataset.insert({"id": 3000, "name": "m", "age": 1})
+        dataset.flush_all()
+        old_files = [component.file_name for component in index.components]
+        index.merge(list(index.components))
+        for file_name in old_files:
+            assert environment.column_cache.entry_count(file_name) == 0
+        warm = dataset.query(QUERY)
+        assert "m" in _rows(warm)
+        dataset.close()
+
+    def test_quarantine_evicts_slices_and_reraises(self):
+        dataset = _dataset("CcQuar")
+        environment = dataset.environments[0]
+        dataset.query(QUERY)  # warm: slices of the flushed component cached
+        index = dataset.partitions[0].index
+        component_file = index.components[0].file_name
+        assert environment.column_cache.entry_count(component_file) > 0
+        # Force a disk read to trip the checksum: cold buffer cache + point
+        # lookup (the slice cache serves scans, not point lookups).
+        environment.buffer_cache.clear()
+        get_injector().add_rule("file.read_page", nth=1, error="corrupt", times=1)
+        with pytest.raises(QuarantinedComponentError):
+            dataset.get(7)
+        # The poisoned component's decoded slices are gone...
+        assert environment.column_cache.entry_count(component_file) == 0
+        # ...and a warm query re-raises instead of serving cached values.
+        with pytest.raises(QuarantinedComponentError):
+            dataset.query(QUERY)
+        dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# fault degrade: cache faults cost latency, never correctness
+# ---------------------------------------------------------------------------
+
+class TestCacheFaultDegrade:
+    def test_lookup_faults_degrade_to_miss(self):
+        dataset = _dataset("CfLookup")
+        oracle = _rows(dataset.query(QUERY))
+        get_injector().add_rule("cache.lookup", nth=1)  # every lookup faults
+        for _ in range(3):
+            result = dataset.query(QUERY)
+            assert _rows(result) == oracle
+            assert result.stats.plan_source == "compiled"  # forced re-plan
+        dataset.close()
+
+    def test_store_faults_skip_the_store(self):
+        dataset = _dataset("CfStore")
+        get_injector().add_rule("cache.store", nth=1)  # every store faults
+        first = dataset.query(QUERY)
+        second = dataset.query(QUERY)
+        assert len(dataset.plan_cache) == 0
+        assert dataset.environments[0].column_cache.entry_count() == 0
+        assert second.stats.plan_source == "compiled"
+        assert _rows(first) == _rows(second)
+        dataset.close()
+
+
+# ---------------------------------------------------------------------------
+# interleaved lifecycle parity (hypothesis)
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("upsert"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("flush"), st.just(0)),
+        st.tuples(st.just("merge"), st.just(0)),
+        st.tuples(st.just("create_index"), st.just(0)),
+        st.tuples(st.just("query"), st.integers(min_value=1, max_value=45)),
+    ),
+    min_size=4, max_size=18,
+)
+
+
+class TestInterleavedParity:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    @given(ops=_OPS, seed=st.integers(min_value=0, max_value=2**16))
+    def test_warm_results_match_cold_oracle(self, ops, seed):
+        """Arbitrary ingest/flush/merge/CREATE INDEX/query interleavings:
+        every warm (cached) query must be row-identical to a cold-cache
+        oracle run of the same text executed immediately after."""
+        dataset = Dataset.create(f"IlPar{seed}", StorageFormat.INFERRED)
+        try:
+            index_count = 0
+            live = set()
+            for step, (op, arg) in enumerate(ops):
+                if op == "insert":
+                    if arg in live:  # duplicate primary key: model as update
+                        dataset.upsert({"id": arg, "name": f"user{arg}",
+                                        "age": (arg * 7) % 45})
+                    else:
+                        dataset.insert({"id": arg, "name": f"user{arg}",
+                                        "age": (arg * 7) % 45})
+                    live.add(arg)
+                elif op == "upsert":
+                    dataset.upsert({"id": arg, "name": f"upd{arg}-{step}",
+                                    "age": (arg * 3) % 45})
+                    live.add(arg)
+                elif op == "delete":
+                    if arg in live:
+                        dataset.delete(arg)
+                        live.discard(arg)
+                elif op == "flush":
+                    dataset.flush_all()
+                elif op == "merge":
+                    index = dataset.partitions[0].index
+                    if index.component_count() >= 2:
+                        index.merge(list(index.components))
+                elif op == "create_index":
+                    index_count += 1
+                    dataset.query(f"CREATE INDEX iAge{index_count} ON Ds (age)")
+                else:  # query — warm first (whatever the caches hold), then oracle
+                    text = (f"SELECT d.name AS name FROM Ds AS d "
+                            f"WHERE d.age < {arg}")
+                    warm = dataset.query(text)
+                    dataset.invalidate_plans()
+                    for environment in dataset.environments:
+                        environment.drop_caches()
+                    cold = dataset.query(text)
+                    assert cold.stats.plan_source == "compiled"
+                    assert sorted(map(str, warm.rows)) == sorted(map(str, cold.rows))
+        finally:
+            dataset.close()

@@ -192,6 +192,7 @@ class TestDeterminism:
             "device.read", "device.write", "file.read_page", "file.write_page",
             "buffercache.miss", "wal.append", "wal.truncate",
             "scheduler.flush", "scheduler.merge",
+            "cache.lookup", "cache.store",
         }
         assert all(point.description for point in FAULT_POINTS)
         assert is_registered("device.read")
