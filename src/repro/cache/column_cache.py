@@ -28,6 +28,7 @@ approximated per value), which is fine for an eviction budget.
 
 from __future__ import annotations
 
+import copy
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -58,7 +59,12 @@ def column_cache_budget() -> int:
 
 
 class SliceScanStats:
-    """Per-scan hit/miss row counts (threaded into EXPLAIN ANALYZE)."""
+    """Per-scan hit/miss row counts (threaded into EXPLAIN ANALYZE).
+
+    Both counters measure the same population — every component-scan row,
+    anti-matter included — so warm and cold scans of the same data report
+    the same ``hits + misses`` total and hit rates are comparable.
+    """
 
     __slots__ = ("hits", "misses")
 
@@ -225,6 +231,27 @@ def paths_cache_key(paths: Sequence[Sequence[Any]]) -> Tuple:
     return tuple(tuple(path) for path in paths)
 
 
+#: Decoded value types a caller could mutate in place.
+_MUTABLE_CONTAINERS = (dict, list, set, bytearray)
+
+
+def _shield(values: Optional[Tuple[Any, ...]]) -> Optional[Tuple[Any, ...]]:
+    """Caller-safe copy of a cached value tuple (the cache stays pristine).
+
+    Decoded values can contain mutable containers (dicts/lists from subtree
+    capture); yielding those by reference would let a caller that mutates a
+    result row silently corrupt the shared cache and poison later queries.
+    Scalar-only rows — the common case — are returned as-is.
+    """
+    if values is None:
+        return None
+    if any(isinstance(value, _MUTABLE_CONTAINERS) for value in values):
+        return tuple(copy.deepcopy(value)
+                     if isinstance(value, _MUTABLE_CONTAINERS) else value
+                     for value in values)
+    return values
+
+
 def cached_component_scan(cache: ColumnSliceCache, component: Any, decode,
                           extractor, paths_key: Tuple,
                           stats: Optional[SliceScanStats] = None) -> Iterator[Tuple]:
@@ -252,7 +279,7 @@ def cached_component_scan(cache: ColumnSliceCache, component: Any, decode,
         if chunk is None:
             break
         for key, is_antimatter, values in chunk.rows:
-            yield key, is_antimatter, b"", None, schema, values
+            yield key, is_antimatter, b"", None, schema, _shield(values)
         served += len(chunk.rows)
         if stats is not None:
             stats.hits += len(chunk.rows)
@@ -270,10 +297,10 @@ def cached_component_scan(cache: ColumnSliceCache, component: Any, decode,
             values: Optional[Tuple[Any, ...]] = None
         else:
             values = tuple(extractor.extract(decode(entry.value)))
-            if stats is not None:
-                stats.misses += 1
+        if stats is not None:
+            stats.misses += 1
         buffer.append((entry.key, entry.is_antimatter, values))
-        yield entry.key, entry.is_antimatter, entry.value, None, schema, values
+        yield entry.key, entry.is_antimatter, entry.value, None, schema, _shield(values)
         if len(buffer) >= cache.chunk_rows:
             cache.store_chunk(file_name, paths_key, chunk_index, buffer, last=False)
             chunk_index += 1

@@ -6,8 +6,9 @@ of that whole front half — the effective :class:`~repro.query.plan.QuerySpec`
 after rewrites, the optimizer's access plan, the cost-based access-path
 choice, and the compiled batch plan — as one :class:`PhysicalPlan` keyed by
 
-* the *normalized* statement text (whitespace collapsed — the cheapest
-  canonicalization that still unifies reformatted copies of one query),
+* the *normalized* statement text (whitespace and comments outside string
+  literals collapsed; quoted literals are preserved verbatim, so two
+  queries that differ only inside a string never share a plan),
 * the dataset's **reuse epoch** (schema/index epoch plus every partition's
   LSM structure version — flush, merge, ``CREATE INDEX``, bulk load, and
   quarantine all bump it, and component swaps are exactly when per-component
@@ -27,7 +28,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Hashable, List, Optional, Tuple
 
 from ..config import env_int
 from ..errors import CorruptPageError, PermanentIOError, TransientIOError
@@ -51,8 +52,60 @@ def plan_cache_capacity() -> int:
 
 
 def normalize_statement(text: str) -> str:
-    """Canonical cache-key form of a SQL++ statement (whitespace collapsed)."""
-    return " ".join(text.split())
+    """Canonical cache-key form of a SQL++ statement.
+
+    Collapses runs of whitespace and comments *outside* string literals to
+    a single space, so reformatted copies of one query share a plan.  The
+    pass mirrors the lexer's trivia and string rules (both quote kinds,
+    backslash escapes, ``--`` line and ``/* */`` block comments) without
+    importing it: quoted literals are copied verbatim, so queries that
+    differ only in the spacing *inside* a string literal never unify — the
+    bound constant differs, and sharing a plan would return wrong results.
+    Malformed text (an unterminated string) is preserved from the anomaly
+    onward; the compiler reports the error with positions intact.
+    """
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    pending_space = False
+    while i < n:
+        char = text[i]
+        if char in " \t\r\n":
+            pending_space = bool(out)
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            pending_space = bool(out)
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                break  # unterminated comment: nothing lexable remains
+            i = end + 2
+            pending_space = bool(out)
+            continue
+        if pending_space:
+            out.append(" ")
+            pending_space = False
+        if char in "'\"":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2  # escape pair: \' or \" must not close the string
+                    continue
+                if text[j] == char:
+                    j += 1
+                    break
+                j += 1
+            j = min(j, n)
+            out.append(text[i:j])
+            i = j
+            continue
+        out.append(char)
+        i += 1
+    return "".join(out)
 
 
 @dataclass

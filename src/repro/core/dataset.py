@@ -476,9 +476,12 @@ class PreparedStatement:
 
     def __init__(self, dataset: Dataset, text: str, executor: Any) -> None:
         self._dataset = dataset
-        #: The normalized statement text (whitespace collapsed) — also the
-        #: text component of the shared plan-cache key this statement seeds.
-        self.text = normalize_statement(text)
+        #: The statement exactly as prepared — this is what gets compiled,
+        #: so string literals keep their spacing byte-for-byte.
+        self.text = text
+        # The text component of the shared plan-cache key this statement
+        # seeds (must match what Dataset.query computes for the same text).
+        self._key_text = normalize_statement(text)
         self._executor = executor
         self._signature = executor.plan_signature()
         self._epoch: Optional[Tuple] = None
@@ -498,7 +501,7 @@ class PreparedStatement:
         # Seed the shared cache too: plain dataset.query(text) calls with a
         # signature-compatible executor hit immediately.
         if self._dataset.plan_cache.enabled:
-            self._dataset.plan_cache.put((self.text, epoch, self._signature),
+            self._dataset.plan_cache.put((self._key_text, epoch, self._signature),
                                          self._physical)
 
     def execute(self):
@@ -508,7 +511,7 @@ class PreparedStatement:
         reused as-is and ``"compiled"`` when a reuse-epoch change forced a
         re-prepare on this call.
         """
-        with _tracer.span("query", text=self.text[:200]) as span:
+        with _tracer.span("query", text=self._key_text[:200]) as span:
             if span.trace_id:
                 self._dataset._last_trace_id = span.trace_id
             reused = self._epoch == self._dataset.reuse_epoch()

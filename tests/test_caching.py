@@ -31,6 +31,8 @@ from repro.cache import (
     ColumnSliceCache,
     PLAN_CACHE_ENV_VAR,
     PlanCache,
+    SliceScanStats,
+    cached_component_scan,
     normalize_statement,
 )
 from repro.cache.column_cache import paths_cache_key
@@ -120,6 +122,29 @@ class TestPlanCacheUnit:
     def test_normalize_statement_collapses_whitespace(self):
         assert normalize_statement("SELECT  x\n FROM\t y ") == "SELECT x FROM y"
 
+    def test_normalize_statement_preserves_string_literals(self):
+        # Whitespace *inside* a quoted literal is part of the bound constant:
+        # collapsing it would alias two different queries onto one plan.
+        assert (normalize_statement("SELECT  'x  y'\n FROM t")
+                == "SELECT 'x  y' FROM t")
+        assert (normalize_statement("WHERE a = 'x  y'")
+                != normalize_statement("WHERE a = 'x y'"))
+        assert (normalize_statement("WHERE a = 'x\ty'")
+                != normalize_statement("WHERE a = 'x y'"))
+        # Escaped quotes must not terminate the literal early.
+        assert (normalize_statement("SELECT 'don\\'t  stop'  FROM t")
+                == "SELECT 'don\\'t  stop' FROM t")
+        assert (normalize_statement('SELECT "a \\" b"  FROM t')
+                == 'SELECT "a \\" b" FROM t')
+
+    def test_normalize_statement_strips_comments_outside_literals(self):
+        assert normalize_statement("SELECT x -- trailing\nFROM y") == "SELECT x FROM y"
+        assert normalize_statement("SELECT/* c */x  FROM y") == "SELECT x FROM y"
+        assert (normalize_statement("SELECT '--not  a comment' FROM y")
+                == "SELECT '--not  a comment' FROM y")
+        assert (normalize_statement("SELECT '/* nor  this */' FROM y")
+                == "SELECT '/* nor  this */' FROM y")
+
 
 # ---------------------------------------------------------------------------
 # column-slice cache: unit behavior
@@ -173,6 +198,65 @@ class TestColumnCacheUnit:
         cache.store_chunk("comp_1", pkey, 0, [(0, False, ("a",))], last=True)
         assert cache.get_chunk("comp_1", pkey, 0) is None
 
+    @staticmethod
+    def _fake_component(rows):
+        """Minimal stand-in for an on-disk component: scan() yields entries."""
+        class Entry:
+            def __init__(self, key, value, is_antimatter):
+                self.key = key
+                self.value = value
+                self.is_antimatter = is_antimatter
+
+        class Component:
+            file_name = "comp_fake"
+            schema = None
+
+            def scan(self):
+                return iter(Entry(*row) for row in rows)
+
+        return Component()
+
+    class _IdentityExtractor:
+        @staticmethod
+        def extract(record):
+            return (record,)
+
+    def test_slice_stats_symmetric_with_antimatter(self):
+        # Cold and warm scans of the same rows must report the same totals:
+        # anti-matter rows count in *both* counters, so EXPLAIN ANALYZE's
+        # hit-rate denominator matches across the two scan paths.
+        cache = ColumnSliceCache(capacity_bytes=1 << 20,
+                                 metrics=MetricsRegistry(), chunk_rows=2)
+        component = self._fake_component(
+            [(0, {"v": 0}, False), (1, None, True), (2, {"v": 2}, False)])
+        pkey = paths_cache_key((("v",),))
+        cold = SliceScanStats()
+        list(cached_component_scan(cache, component, lambda v: v,
+                                   self._IdentityExtractor, pkey, cold))
+        warm = SliceScanStats()
+        list(cached_component_scan(cache, component, lambda v: v,
+                                   self._IdentityExtractor, pkey, warm))
+        assert (cold.hits, cold.misses) == (0, 3)
+        assert (warm.hits, warm.misses) == (3, 0)
+
+    def test_served_values_shielded_from_caller_mutation(self):
+        # Mutating a yielded row (cold or warm) must never reach the cache.
+        cache = ColumnSliceCache(capacity_bytes=1 << 20,
+                                 metrics=MetricsRegistry(), chunk_rows=2)
+        component = self._fake_component(
+            [(0, {"name": "u0"}, False), (1, {"name": "u1"}, False)])
+        pkey = paths_cache_key((("name",),))
+        cold = list(cached_component_scan(cache, component, lambda v: v,
+                                          self._IdentityExtractor, pkey))
+        cold[0][5][0]["name"] = "scribbled"  # cold rows share a store pass
+        warm = list(cached_component_scan(cache, component, lambda v: v,
+                                          self._IdentityExtractor, pkey))
+        assert [row[5][0]["name"] for row in warm] == ["u0", "u1"]
+        warm[1][5][0]["name"] = "scribbled"  # warm rows come from the cache
+        again = list(cached_component_scan(cache, component, lambda v: v,
+                                           self._IdentityExtractor, pkey))
+        assert [row[5][0]["name"] for row in again] == ["u0", "u1"]
+
 
 # ---------------------------------------------------------------------------
 # plan cache + prepared statements: end to end
@@ -195,6 +279,38 @@ class TestPlanCacheIntegration:
                                 "  WHERE d.age < 20")
         assert variant.stats.plan_source == "cache"
         assert len(dataset.plan_cache) == 1
+        dataset.close()
+
+    def test_string_literal_whitespace_not_conflated(self):
+        # The REVIEW.md high-severity repro: two queries differing only by
+        # whitespace inside a quoted literal must get distinct plans (and
+        # distinct, correct rows) — never the other's cached constant.
+        dataset = _dataset("PcLit", rows=5)
+        dataset.insert({"id": 100, "name": "n100", "age": 1, "city": "x y"})
+        dataset.insert({"id": 101, "name": "n101", "age": 1, "city": "x  y"})
+        dataset.flush_all()
+        single = dataset.query(
+            "SELECT d.id AS id FROM Ds AS d WHERE d.city = 'x y'")
+        double = dataset.query(
+            "SELECT d.id AS id FROM Ds AS d WHERE d.city = 'x  y'")
+        assert [row["id"] for row in single.rows] == [100]
+        assert [row["id"] for row in double.rows] == [101]
+        assert double.stats.plan_source == "compiled"  # its own cache entry
+        assert dataset.query(
+            "SELECT d.id AS id FROM Ds AS d WHERE d.city = 'x  y'"
+        ).stats.plan_source == "cache"
+        dataset.close()
+
+    def test_prepared_statement_preserves_literal_whitespace(self, monkeypatch):
+        # Preparing must compile the *original* text: a literal with
+        # consecutive spaces has to survive even with the plan cache off.
+        monkeypatch.setenv(PLAN_CACHE_ENV_VAR, "0")
+        dataset = _dataset("PsLit", rows=5)
+        dataset.insert({"id": 100, "name": "n100", "age": 1, "city": "x  y"})
+        dataset.flush_all()
+        statement = dataset.prepare(
+            "SELECT d.id AS id FROM Ds AS d WHERE d.city = 'x  y'")
+        assert [row["id"] for row in statement.execute().rows] == [100]
         dataset.close()
 
     def test_create_index_moves_epoch(self):
@@ -309,6 +425,20 @@ class TestColumnCacheIntegration:
         assert cold.stats.slice_cache_misses > 0
         assert warm.stats.slice_cache_hits > 0
         assert warm.stats.bytes_read < cold.stats.bytes_read
+        assert _rows(cold) == _rows(warm)
+        dataset.close()
+
+    def test_slice_stats_symmetric_across_cold_and_warm(self):
+        dataset = _dataset("CcSym")
+        dataset.delete(0)  # flushed deletes put anti-matter rows in a
+        dataset.delete(1)  # component; both scans must count them alike
+        dataset.flush_all()
+        dataset.environments[0].drop_caches()
+        cold = dataset.query(QUERY)
+        warm = dataset.query(QUERY)
+        assert cold.stats.slice_cache_misses > 0
+        assert warm.stats.slice_cache_hits == cold.stats.slice_cache_misses
+        assert warm.stats.slice_cache_misses == 0
         assert _rows(cold) == _rows(warm)
         dataset.close()
 
